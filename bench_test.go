@@ -1,0 +1,356 @@
+package repro_test
+
+// One Go benchmark per table and figure of the paper's evaluation
+// (Section 8), plus micro-benchmarks of the core machinery and the
+// ablations listed in DESIGN.md. Every benchmark reports the modeled
+// (simulated-cloud) time of its experiment as "modeled-s" in addition to
+// the real wall-clock ns/op; cmd/benchall prints the same experiments as
+// paper-style tables.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/cloud/dynamodb"
+	"repro/internal/cloud/ec2"
+	"repro/internal/cloud/kv"
+	"repro/internal/engine"
+	"repro/internal/index"
+	"repro/internal/meter"
+	"repro/internal/pattern"
+	"repro/internal/twigjoin"
+	"repro/internal/workload"
+	"repro/internal/xmark"
+	"repro/internal/xmltree"
+)
+
+var (
+	benchOnce   sync.Once
+	benchCorpus *bench.Corpus
+	benchEnv    *bench.QueryEnv
+	benchCells  []bench.Fig9Cell
+	benchErr    error
+)
+
+func benchSetup(b *testing.B) (*bench.Corpus, *bench.QueryEnv, []bench.Fig9Cell) {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchCorpus, benchErr = bench.NewCorpus(bench.Tiny())
+		if benchErr != nil {
+			return
+		}
+		benchEnv, benchErr = bench.NewQueryEnv(benchCorpus)
+		if benchErr != nil {
+			return
+		}
+		benchCells, benchErr = bench.RunFig9(benchEnv)
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchCorpus, benchEnv, benchCells
+}
+
+// BenchmarkTable4Indexing: indexing the corpus under each strategy on 8
+// large instances (Table 4; the cost side is Table 6).
+func BenchmarkTable4Indexing(b *testing.B) {
+	c, _, _ := benchSetup(b)
+	for _, s := range index.All() {
+		b.Run(s.Name(), func(b *testing.B) {
+			var modeled float64
+			for i := 0; i < b.N; i++ {
+				_, rep, _, err := bench.BuildWarehouse(c, s, "", 8, ec2.Large)
+				if err != nil {
+					b.Fatal(err)
+				}
+				modeled += rep.Total.Seconds()
+			}
+			b.ReportMetric(modeled/float64(b.N), "modeled-s")
+		})
+	}
+}
+
+// BenchmarkTable6IndexingCost: the full per-strategy indexing cost run.
+func BenchmarkTable6IndexingCost(b *testing.B) {
+	c, _, _ := benchSetup(b)
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.RunIndexing(c, "", 8, ec2.Large)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var total float64
+		for _, r := range rows {
+			total += float64(r.Cost.Total())
+		}
+		b.ReportMetric(total, "usd")
+	}
+}
+
+// BenchmarkFig7IndexingScale: indexing time versus corpus size (Figure 7).
+func BenchmarkFig7IndexingScale(b *testing.B) {
+	c, _, _ := benchSetup(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunFig7(c, 8, ec2.Large); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig8IndexSize: index sizes with and without keywords (Figure 8).
+func BenchmarkFig8IndexSize(b *testing.B) {
+	c, _, _ := benchSetup(b)
+	for i := 0; i < b.N; i++ {
+		if _, _, err := bench.RunFig8(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable5Selectivity: per-query look-up selectivity (Table 5).
+func BenchmarkTable5Selectivity(b *testing.B) {
+	_, env, _ := benchSetup(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunTable5(env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig9Response: the workload under every access path on l and xl
+// instances (Figure 9a-9c; its cost view is Figures 11-12).
+func BenchmarkFig9Response(b *testing.B) {
+	_, env, _ := benchSetup(b)
+	var modeled float64
+	for i := 0; i < b.N; i++ {
+		cells, err := bench.RunFig9(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, c := range cells {
+			modeled += c.Response.Seconds()
+		}
+	}
+	b.ReportMetric(modeled/float64(b.N), "modeled-s")
+}
+
+// BenchmarkFig10Parallelism: workload on 1 vs 8 instances (Figure 10).
+func BenchmarkFig10Parallelism(b *testing.B) {
+	_, env, _ := benchSetup(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunFig10(env, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig11QueryCost: per-query billing across access paths.
+func BenchmarkFig11QueryCost(b *testing.B) {
+	_, env, cells := benchSetup(b)
+	for i := 0; i < b.N; i++ {
+		_ = bench.Fig11(cells)
+		_ = bench.Fig12(cells)
+	}
+	_ = env
+}
+
+// BenchmarkFig13Amortization: amortization curves from measured costs.
+func BenchmarkFig13Amortization(b *testing.B) {
+	_, env, cells := benchSetup(b)
+	for i := 0; i < b.N; i++ {
+		rows := bench.RunFig13(env.Rows, cells, 20)
+		if len(rows) != 4 {
+			b.Fatal("missing strategies")
+		}
+	}
+}
+
+// BenchmarkTable7Simpledb: indexing on DynamoDB vs SimpleDB backends
+// (Tables 7 and 8 share one comparison run).
+func BenchmarkTable7Simpledb(b *testing.B) {
+	c, _, _ := benchSetup(b)
+	for i := 0; i < b.N; i++ {
+		if _, _, err := bench.RunCompare(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable8SimpledbQuery is an alias run kept so that every paper
+// table has a named benchmark target; the comparison run covers both.
+func BenchmarkTable8SimpledbQuery(b *testing.B) {
+	BenchmarkTable7Simpledb(b)
+}
+
+// --- ablations -----------------------------------------------------------
+
+func BenchmarkAblationIDEncoding(b *testing.B) {
+	c, _, _ := benchSetup(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunAblationIDEncoding(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationBatching(b *testing.B) {
+	c, _, _ := benchSetup(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunAblationBatching(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationPathCompression(b *testing.B) {
+	c, _, _ := benchSetup(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunAblationPathCompression(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationSemijoin(b *testing.B) {
+	_, env, _ := benchSetup(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunAblationSemijoin(env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationTwigVsBinary: holistic twig join versus a cascade of
+// binary structural semijoins over the same identifier streams.
+func BenchmarkAblationTwigVsBinary(b *testing.B) {
+	cfg := xmark.DefaultConfig(40)
+	cfg.TargetDocBytes = 8 << 10
+	tr := pattern.MustParse(`//item[/location, /description[/parlist[/listitem[/text]]], //name]`).Patterns[0]
+	var streams []twigjoin.Streams
+	for i := 0; i < cfg.Docs; i++ {
+		gd := xmark.GenerateDoc(cfg, i)
+		d, err := xmltree.Parse(gd.URI, gd.Data)
+		if err != nil {
+			b.Fatal(err)
+		}
+		streams = append(streams, twigjoin.StreamsFromDocument(tr, d))
+	}
+	b.Run("holistic", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, s := range streams {
+				twigjoin.Match(tr, s)
+			}
+		}
+	})
+	b.Run("binary", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, s := range streams {
+				twigjoin.MatchBinary(tr, s)
+			}
+		}
+	})
+}
+
+// --- micro-benchmarks of the core machinery ------------------------------
+
+func BenchmarkParseDocument(b *testing.B) {
+	cfg := xmark.DefaultConfig(20)
+	cfg.TargetDocBytes = 32 << 10
+	gd := xmark.GenerateDoc(cfg, 0)
+	b.SetBytes(int64(len(gd.Data)))
+	for i := 0; i < b.N; i++ {
+		if _, err := xmltree.Parse(gd.URI, gd.Data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExtract(b *testing.B) {
+	cfg := xmark.DefaultConfig(20)
+	cfg.TargetDocBytes = 32 << 10
+	gd := xmark.GenerateDoc(cfg, 0)
+	doc, err := xmltree.Parse(gd.URI, gd.Data)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, s := range index.All() {
+		b.Run(s.Name(), func(b *testing.B) {
+			b.SetBytes(int64(len(gd.Data)))
+			for i := 0; i < b.N; i++ {
+				index.Extract(s, doc, index.DefaultOptions())
+			}
+		})
+	}
+}
+
+func BenchmarkLookup(b *testing.B) {
+	c, env, _ := benchSetup(b)
+	q := workload.XMark()[3].Parse() // the two-branch split-feature query
+	for _, s := range index.All() {
+		b.Run(s.Name(), func(b *testing.B) {
+			w := env.Warehouse(bench.AccessPath(s.Name()))
+			for i := 0; i < b.N; i++ {
+				if _, _, err := index.LookupQuery(w.Store(), s, q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	_ = c
+}
+
+func BenchmarkEvalPattern(b *testing.B) {
+	cfg := xmark.DefaultConfig(20)
+	cfg.TargetDocBytes = 32 << 10
+	gd := xmark.GenerateDoc(cfg, 0)
+	doc, err := xmltree.Parse(gd.URI, gd.Data)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr := pattern.MustParse(`//item[/location{val}, //name{val}]`).Patterns[0]
+	b.SetBytes(int64(len(gd.Data)))
+	for i := 0; i < b.N; i++ {
+		engine.EvalPatternOnDoc(tr, doc)
+	}
+}
+
+func BenchmarkIDCodec(b *testing.B) {
+	var ids []xmltree.NodeID
+	for i := int32(1); i <= 4096; i++ {
+		ids = append(ids, xmltree.NodeID{Pre: i * 3, Post: i, Depth: 5})
+	}
+	b.Run("encode-binary", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			index.EncodeIDsBinary(ids, 48<<10)
+		}
+	})
+	blobs := index.EncodeIDsBinary(ids, 48<<10)
+	b.Run("decode-binary", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, blob := range blobs {
+				if _, err := index.DecodeIDsBinary(blob); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}
+
+func BenchmarkDynamoDBPut(b *testing.B) {
+	store := dynamodb.New(meter.NewLedger())
+	if err := store.CreateTable("t"); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		it := kv.Item{
+			HashKey:  "key",
+			RangeKey: fmt.Sprintf("r-%09d", i),
+			Attrs:    []kv.Attr{{Name: "doc.xml", Values: []kv.Value{{byte(i), byte(i >> 8)}}}},
+		}
+		if _, err := store.Put("t", it); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

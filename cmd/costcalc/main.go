@@ -1,0 +1,85 @@
+// Command costcalc evaluates the paper's monetary cost model (Section 7)
+// for user-supplied metrics: what would it cost to upload, index, store
+// and query a warehouse of a given size on the 2012 AWS Singapore prices?
+//
+//	costcalc -docs 20000 -gb 40 -index-gb 50 -index-ovh-gb 5 \
+//	         -put-ops 60000000 -index-hours 2.18 -vms 8 -vm l \
+//	         -get-ops 12 -docs-fetched 349 -proc-hours 0.01 -result-gb 0.09
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/costmodel"
+	"repro/internal/pricing"
+)
+
+func main() {
+	docs := flag.Int64("docs", 20000, "|D|: number of documents")
+	gb := flag.Float64("gb", 40, "s(D): dataset size in GB")
+	idxGB := flag.Float64("index-gb", 50, "sr(D,I): raw index size in GB")
+	idxOvhGB := flag.Float64("index-ovh-gb", 5, "ovh(D,I): index store overhead in GB")
+	putOps := flag.Int64("put-ops", 60_000_000, "|op(D,I)|: index put operations")
+	idxHours := flag.Float64("index-hours", 2.18, "tidx: indexing time in hours")
+	vms := flag.Int("vms", 8, "indexing virtual machines")
+	vm := flag.String("vm", "l", "instance type: l or xl")
+	getOps := flag.Int64("get-ops", 12, "|op(q,D,I)|: index get operations per query")
+	fetched := flag.Int64("docs-fetched", 349, "|D^q_I|: documents retrieved per query")
+	procHours := flag.Float64("proc-hours", 0.01, "ptq: query processing hours")
+	resultGB := flag.Float64("result-gb", 0.09, "|r(q)|: result size in GB")
+	runs := flag.Int("runs", 20, "amortization horizon in workload runs")
+	flag.Parse()
+
+	p := pricing.Singapore2012()
+	m := costmodel.DatasetMetrics{
+		Docs:          *docs,
+		DataGB:        *gb,
+		IndexPutOps:   *putOps,
+		IndexRawGB:    *idxGB,
+		IndexOvhGB:    *idxOvhGB,
+		IndexingHours: *idxHours,
+		VMType:        *vm,
+		VMCount:       *vms,
+	}
+	fmt.Printf("upload         ud$(D)      = %s\n", costmodel.UploadCost(p, m.Docs))
+	build := costmodel.IndexBuildCost(p, m)
+	fmt.Printf("index build    ci$(D,I)    = %s\n", build)
+	fmt.Printf("storage/month  st$m(D,I)   = %s\n", costmodel.MonthlyStorageCost(p, m, "dynamodb"))
+
+	qIdx := costmodel.QueryMetrics{
+		ResultGB:        *resultGB,
+		IndexGetOps:     *getOps,
+		DocsRetrieved:   *fetched,
+		ProcessingHours: *procHours,
+		VMType:          *vm,
+	}
+	qNo := costmodel.QueryMetrics{
+		ResultGB:        *resultGB,
+		DocsRetrieved:   *docs,
+		ProcessingHours: *procHours * float64(*docs) / float64(max64(1, *fetched)),
+		VMType:          *vm,
+	}
+	idxCost := costmodel.QueryCostIndexed(p, qIdx)
+	noCost := costmodel.QueryCostNoIndex(p, qNo)
+	fmt.Printf("query indexed  cq$(q,D,I)  = %s\n", idxCost)
+	fmt.Printf("query no index cq$(q,D)    = %s (saving %.1f%%)\n",
+		noCost, 100*(1-float64(idxCost/noCost)))
+
+	benefit := costmodel.Benefit(noCost, idxCost)
+	be := costmodel.BreakEvenRuns(build, benefit)
+	fmt.Printf("benefit/query  = %s; index amortizes after %d queries\n", benefit, be)
+	fmt.Printf("\ncumulated benefit - build cost:\n")
+	for i, v := range costmodel.AmortizationCurve(build, benefit, *runs) {
+		if i%max(1, *runs/10) == 0 || i == *runs {
+			fmt.Printf("  %4d runs: %s\n", i, v)
+		}
+	}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

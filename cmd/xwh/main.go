@@ -1,0 +1,190 @@
+// Command xwh is the warehouse in one process: it provisions the simulated
+// cloud, loads documents (generated, from a directory, or the paintings
+// example corpus), indexes them under a chosen strategy, answers queries
+// from the command line, and prints statistics and the accumulated bill.
+//
+// Examples:
+//
+//	# index the paintings corpus under LUP and run a query
+//	xwh -corpus paintings -strategy LUP -query '//painting[/name{val}]'
+//
+//	# generate 200 XMark documents, index under 2LUPI, run the workload
+//	xwh -docs 200 -strategy 2LUPI -workload
+//
+//	# load XML files from a directory
+//	xwh -dir ./corpus -strategy LUI -query '//item[//name{val}]' -stats
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/cloud/ec2"
+	"repro/internal/core"
+	"repro/internal/index"
+	"repro/internal/pricing"
+	"repro/internal/workload"
+	"repro/internal/xmark"
+)
+
+func main() {
+	corpus := flag.String("corpus", "", `built-in corpus: "paintings"`)
+	dir := flag.String("dir", "", "load .xml files from this directory")
+	docs := flag.Int("docs", 0, "generate this many XMark documents")
+	docBytes := flag.Int("docbytes", 16<<10, "approximate bytes per generated document")
+	strategy := flag.String("strategy", "LUP", "indexing strategy: LU, LUP, LUI, 2LUPI")
+	backend := flag.String("backend", "dynamodb", "index store backend: dynamodb or simpledb")
+	instances := flag.Int("instances", 2, "EC2 instances for indexing")
+	instanceType := flag.String("type", "l", "instance type: l or xl")
+	query := flag.String("query", "", "query to run (pattern or XQuery syntax, auto-detected)")
+	explain := flag.Bool("explain", false, "print the look-up plan before running each query")
+	noIndex := flag.Bool("no-index", false, "answer the query without using the index")
+	runWorkload := flag.Bool("workload", false, "run the 10-query XMark workload")
+	remove := flag.String("remove", "", "remove this document (file + index entries) before querying")
+	repl := flag.Bool("repl", false, "read queries interactively from stdin after loading")
+	stats := flag.Bool("stats", false, "print warehouse statistics and the bill")
+	flag.Parse()
+
+	s, err := index.ByName(*strategy)
+	if err != nil {
+		log.Fatal(err)
+	}
+	typ, err := ec2.TypeByName(*instanceType)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	wh, err := core.New(core.Config{Strategy: s, Backend: *backend})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var loaded int
+	submit := func(uri string, data []byte) {
+		if err := wh.SubmitDocument(uri, data); err != nil {
+			log.Fatalf("submitting %s: %v", uri, err)
+		}
+		loaded++
+	}
+	switch {
+	case *corpus == "paintings":
+		for _, d := range xmark.Paintings() {
+			submit(d.URI, d.Data)
+		}
+	case *dir != "":
+		entries, err := os.ReadDir(*dir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, e := range entries {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".xml") {
+				continue
+			}
+			data, err := os.ReadFile(filepath.Join(*dir, e.Name()))
+			if err != nil {
+				log.Fatal(err)
+			}
+			submit(e.Name(), data)
+		}
+	case *docs > 0:
+		cfg := xmark.DefaultConfig(*docs)
+		cfg.TargetDocBytes = *docBytes
+		for i := 0; i < cfg.Docs; i++ {
+			d := xmark.GenerateDoc(cfg, i)
+			submit(d.URI, d.Data)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "nothing to load: pass -corpus paintings, -dir, or -docs")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	fleet := ec2.LaunchFleet(wh.Ledger(), typ, *instances)
+	rep, err := wh.IndexCorpusOn(fleet, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("indexed %d documents under %s on %d %s instance(s): %d entries, %d items, %v modeled\n",
+		rep.Docs, s.Name(), *instances, typ.Name, rep.Entries, rep.Items, rep.Total)
+
+	processor := ec2.Launch(wh.Ledger(), typ)
+	if *remove != "" {
+		if err := wh.RemoveDocument(processor, *remove); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("removed %s (file and index entries)\n", *remove)
+	}
+	run := func(name, text string) {
+		if *explain && !*noIndex {
+			if q, err := core.ParseQueryText(text); err == nil {
+				fmt.Println()
+				fmt.Print(index.ExplainLookup(s, q))
+			}
+		}
+		res, st, err := wh.RunQueryOn(processor, text, !*noIndex)
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		fmt.Printf("\n%s: %s\n", name, text)
+		fmt.Printf("  index gets=%d  docs fetched=%d  rows=%d  modeled response=%v\n",
+			st.GetOps, st.DocsFetched, len(res.Rows), st.ResponseTime)
+		for i, row := range res.Rows {
+			if i == 20 {
+				fmt.Printf("  ... %d more rows\n", len(res.Rows)-20)
+				break
+			}
+			cols := make([]string, len(row.Cols))
+			for j, c := range row.Cols {
+				if len(c) > 48 {
+					c = c[:45] + "..."
+				}
+				cols[j] = c
+			}
+			fmt.Printf("  %s  (%s)\n", strings.Join(cols, " | "), row.URI)
+		}
+	}
+	if *query != "" {
+		run("query", *query)
+	}
+	if *runWorkload {
+		for _, q := range workload.XMark() {
+			run(q.Name, q.Text)
+		}
+	}
+	if *repl {
+		fmt.Println("\nenter queries (pattern or XQuery syntax), one per line; empty line quits")
+		sc := bufio.NewScanner(os.Stdin)
+		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		for n := 1; ; n++ {
+			fmt.Print("xwh> ")
+			if !sc.Scan() {
+				break
+			}
+			line := strings.TrimSpace(sc.Text())
+			if line == "" {
+				break
+			}
+			if _, err := core.ParseQueryText(line); err != nil {
+				fmt.Println("  parse error:", err)
+				continue
+			}
+			run(fmt.Sprintf("#%d", n), line)
+		}
+	}
+
+	if *stats {
+		raw, ovh := wh.IndexBytes()
+		fmt.Printf("\nwarehouse statistics:\n")
+		fmt.Printf("  documents: %d (%.2f MB in the file store)\n", loaded, float64(wh.DataBytes())/(1<<20))
+		fmt.Printf("  index: %.2f MB content + %.2f MB store overhead, %d items\n",
+			float64(raw)/(1<<20), float64(ovh)/(1<<20), wh.IndexItems())
+		book := pricing.Singapore2012()
+		fmt.Printf("\naccumulated bill (activity):\n%s", book.Bill(wh.Ledger().Snapshot()))
+		fmt.Printf("\nmonthly storage:\n%s", book.StorageMonthly(wh.DataBytes(), raw+ovh, *backend))
+	}
+}

@@ -1,0 +1,78 @@
+// Advisor: the statistics-driven index advisor of the paper's future work
+// (Sections 8.5 and 9), as a library demo.
+//
+// It samples a generated corpus, builds a data summary (per-key and
+// per-path document frequencies), estimates — without building any index —
+// each strategy's per-query look-up size, response time and monetary cost,
+// and ranks the access paths for the whole workload.
+//
+//	go run ./examples/advisor [-docs 200] [-sample 2]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/advisor"
+	"repro/internal/cloud/ec2"
+	"repro/internal/pattern"
+	"repro/internal/workload"
+	"repro/internal/xmark"
+	"repro/internal/xmltree"
+)
+
+func main() {
+	n := flag.Int("docs", 200, "corpus size")
+	sample := flag.Int("sample", 2, "sample one document in N")
+	flag.Parse()
+
+	cfg := xmark.DefaultConfig(*n)
+	cfg.TargetDocBytes = 8 << 10
+	var docs []*xmltree.Document
+	for i := 0; i < cfg.Docs; i++ {
+		gd := xmark.GenerateDoc(cfg, i)
+		d, err := xmltree.Parse(gd.URI, gd.Data)
+		if err != nil {
+			log.Fatal(err)
+		}
+		docs = append(docs, d)
+	}
+
+	a, err := advisor.New(docs, advisor.Config{SampleEvery: *sample, VM: ec2.XL})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("data summary: %d of %d documents sampled, %d distinct keys, %d distinct paths\n\n",
+		a.Summary.SampleDocs, a.Summary.TotalDocs, len(a.Summary.KeyDocs), len(a.Summary.PathDocs))
+
+	var queries []*pattern.Query
+	fmt.Printf("%-5s | %-40s\n", "query", "estimated look-up documents")
+	fmt.Printf("%-5s | %-8s %-8s %-8s %-8s %-8s\n", "", "none", "LU", "LUP", "LUI", "2LUPI")
+	for _, wq := range workload.XMark() {
+		q := wq.Parse()
+		queries = append(queries, q)
+		ests, err := a.EstimateQuery(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-5s |", wq.Name)
+		for _, e := range ests {
+			fmt.Printf(" %-8.1f", e.Docs)
+		}
+		fmt.Println()
+	}
+
+	ranked, err := a.Recommend(queries)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nworkload ranking (estimated, cheapest first):\n")
+	for i, r := range ranked {
+		marker := "  "
+		if i == 0 {
+			marker = "->"
+		}
+		fmt.Printf("%s %-6s  %s per run, %v per run\n", marker, r.Access, r.PerRunCost, r.PerRunTime)
+	}
+}

@@ -1,0 +1,93 @@
+// Auctions: the paper's experimental scenario in miniature.
+//
+// Generates a heterogenized XMark-like corpus (Section 8.1), indexes it
+// under every strategy on a fleet of large instances, runs the 10-query
+// workload with and without the index, and prints per-query response
+// times, look-up precision and monetary costs — a condensed live replay of
+// Tables 4-5 and Figures 9/11.
+//
+//	go run ./examples/auctions [-docs 120]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/cloud/ec2"
+	"repro/internal/core"
+	"repro/internal/index"
+	"repro/internal/pricing"
+	"repro/internal/workload"
+	"repro/internal/xmark"
+)
+
+func main() {
+	docs := flag.Int("docs", 120, "number of generated documents")
+	flag.Parse()
+
+	cfg := xmark.DefaultConfig(*docs)
+	cfg.TargetDocBytes = 8 << 10
+	corpus := xmark.Generate(cfg)
+	var corpusBytes int64
+	for _, d := range corpus {
+		corpusBytes += int64(len(d.Data))
+	}
+	fmt.Printf("corpus: %d documents, %.1f MB (modified XMark: altered paths + optional children)\n\n",
+		len(corpus), float64(corpusBytes)/(1<<20))
+
+	book := pricing.Singapore2012()
+	warehouses := map[string]*core.Warehouse{}
+	for _, s := range index.All() {
+		wh, err := core.New(core.Config{Strategy: s})
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, d := range corpus {
+			if err := wh.SubmitDocument(d.URI, d.Data); err != nil {
+				log.Fatal(err)
+			}
+		}
+		fleet := ec2.LaunchFleet(wh.Ledger(), ec2.Large, 8)
+		rep, err := wh.IndexCorpusOn(fleet, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cost := book.Bill(wh.Ledger().Snapshot()).Total()
+		fmt.Printf("indexed under %-5s: %6d items, %8v modeled, %s\n",
+			s.Name(), rep.Items, rep.Total.Round(1e6), cost)
+		warehouses[s.Name()] = wh
+	}
+
+	fmt.Printf("\n%-5s | %-9s | %-36s | %-9s\n", "query", "no index", "indexed response (s)", "saving")
+	fmt.Printf("%-5s | %-9s | %-8s %-8s %-8s %-8s | %-9s\n", "", "(s)", "LU", "LUP", "LUI", "2LUPI", "(LUP, $)")
+	for _, q := range workload.XMark() {
+		// Baseline: no index, on the LU warehouse (index unused).
+		whNo := warehouses["LU"]
+		inNo := ec2.Launch(whNo.Ledger(), ec2.XL)
+		beforeNo := whNo.Ledger().Snapshot()
+		_, statsNo, err := whNo.RunQueryOn(inNo, q.Text, false)
+		if err != nil {
+			log.Fatal(err)
+		}
+		costNo := book.Bill(whNo.Ledger().Snapshot().Sub(beforeNo)).Total()
+
+		fmt.Printf("%-5s | %-9.3f |", q.Name, statsNo.ResponseTime.Seconds())
+		var costLUP pricing.USD
+		for _, s := range index.All() {
+			wh := warehouses[s.Name()]
+			in := ec2.Launch(wh.Ledger(), ec2.XL)
+			before := wh.Ledger().Snapshot()
+			_, stats, err := wh.RunQueryOn(in, q.Text, true)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if s == index.LUP {
+				costLUP = book.Bill(wh.Ledger().Snapshot().Sub(before)).Total()
+			}
+			fmt.Printf(" %-8.3f", stats.ResponseTime.Seconds())
+		}
+		saving := 100 * (1 - float64(costLUP/costNo))
+		fmt.Printf(" | %5.1f%%\n", saving)
+	}
+}

@@ -1,0 +1,93 @@
+// Costplanner: the index advisor the paper lists as future work
+// (Section 9): "based on the expected dataset and workload, estimate an
+// application's performance and cost and pick the best indexing strategy".
+//
+// It measures each strategy on a small sample of the expected corpus, then
+// extrapolates with the Section 7 cost model to the full dataset size and
+// monthly query volume given on the command line, and recommends the
+// cheapest strategy — including "no index" when the workload is too small
+// to amortize one.
+//
+//	go run ./examples/costplanner [-gb 40] [-queries-per-month 3000] [-months 6]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+
+	"repro/internal/bench"
+	"repro/internal/costmodel"
+	"repro/internal/pricing"
+)
+
+func main() {
+	gb := flag.Float64("gb", 40, "expected dataset size in GB")
+	qpm := flag.Float64("queries-per-month", 3000, "expected workload queries per month")
+	months := flag.Float64("months", 6, "planning horizon in months")
+	flag.Parse()
+
+	book := pricing.Singapore2012()
+
+	// Sample run: index and query a miniature of the expected corpus.
+	corpus, err := bench.NewCorpus(bench.Tiny())
+	if err != nil {
+		log.Fatal(err)
+	}
+	env, err := bench.NewQueryEnv(corpus)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cells, err := bench.RunFig9(env)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sampleGB := float64(corpus.Bytes) / pricing.GB
+	blowup := *gb / sampleGB
+	queriesPerRun := float64(len(env.Queries))
+
+	type plan struct {
+		name    string
+		monthly costmodel.USD
+		detail  string
+	}
+	var plans []plan
+
+	// Baseline: no index at all.
+	noIdxPerQuery := bench.WorkloadCost(cells, bench.NoIndex, "xl") / costmodel.USD(queriesPerRun)
+	storage := book.StorageMonthly(int64(*gb*pricing.GB), 0, "dynamodb").Total()
+	noMonthly := storage + noIdxPerQuery*costmodel.USD(blowup**qpm)
+	plans = append(plans, plan{
+		name:    "no index",
+		monthly: noMonthly,
+		detail:  fmt.Sprintf("storage %s + queries %s", storage, noMonthly-storage),
+	})
+
+	for _, row := range env.Rows {
+		s := row.Strategy
+		perQuery := bench.WorkloadCost(cells, bench.AccessPath(s.Name()), "xl") / costmodel.USD(queriesPerRun)
+		raw, ovh := row.Warehouse.IndexBytes()
+		idxBytes := int64(float64(raw+ovh) * blowup)
+		storage := book.StorageMonthly(int64(*gb*pricing.GB), idxBytes, "dynamodb").Total()
+		build := row.Cost.Total() * costmodel.USD(blowup) / costmodel.USD(*months)
+		queries := perQuery * costmodel.USD(blowup**qpm)
+		plans = append(plans, plan{
+			name:    s.Name(),
+			monthly: storage + build + queries,
+			detail: fmt.Sprintf("storage %s + amortized build %s + queries %s",
+				storage, build, queries),
+		})
+	}
+
+	sort.Slice(plans, func(i, j int) bool { return plans[i].monthly < plans[j].monthly })
+	fmt.Printf("plan for %.0f GB, %.0f queries/month, %.0f-month horizon:\n\n", *gb, *qpm, *months)
+	for i, p := range plans {
+		marker := "  "
+		if i == 0 {
+			marker = "->"
+		}
+		fmt.Printf("%s %-8s %10s/month   (%s)\n", marker, p.name, p.monthly, p.detail)
+	}
+	fmt.Printf("\nrecommended: %s\n", plans[0].name)
+}

@@ -1,0 +1,82 @@
+// Elastic: the cloud elasticity of Section 3, live.
+//
+// "An important feature of such platforms is their elasticity, i.e., the
+// ability to allocate more (or less) computing power [...] as the
+// application demands grow or shrink."
+//
+// This example floods the loader queue with a generated corpus and lets an
+// AutoScaler manage the indexing module: the fleet grows toward its
+// maximum while the backlog lasts, drains the queue, then shrinks back to
+// the minimum so idle instances stop billing. A dead-letter queue catches
+// a deliberately malformed document along the way.
+//
+//	go run ./examples/elastic [-docs 60]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/index"
+	"repro/internal/pricing"
+	"repro/internal/xmark"
+)
+
+func main() {
+	n := flag.Int("docs", 60, "corpus size")
+	flag.Parse()
+
+	wh, err := core.New(core.Config{Strategy: index.LUP})
+	if err != nil {
+		log.Fatal(err)
+	}
+	scaler := wh.StartAutoScaler(core.AutoScalerConfig{
+		Module:           core.IndexerModule,
+		Min:              1,
+		Max:              6,
+		BacklogPerWorker: 4,
+		Interval:         25 * time.Millisecond,
+		Worker: core.WorkerOptions{
+			Poll:      10 * time.Millisecond,
+			WorkDelay: 10 * time.Millisecond,
+		},
+	})
+	defer scaler.Stop()
+
+	cfg := xmark.DefaultConfig(*n)
+	cfg.TargetDocBytes = 4 << 10
+	for i := 0; i < cfg.Docs; i++ {
+		d := xmark.GenerateDoc(cfg, i)
+		if err := wh.SubmitDocument(d.URI, d.Data); err != nil {
+			log.Fatal(err)
+		}
+	}
+	// One poison document that can never be parsed.
+	if err := wh.SubmitDocument("poison.xml", []byte("<broken><oops></broken>")); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("submitted %d documents (+1 poison); watching the fleet:\n", cfg.Docs)
+
+	deadline := time.Now().Add(60 * time.Second)
+	lastWorkers := -1
+	for time.Now().Before(deadline) {
+		backlog := wh.Queues().Len(core.LoaderQueue)
+		if w := scaler.Workers(); w != lastWorkers {
+			fmt.Printf("  backlog %3d -> %d worker(s)\n", backlog, w)
+			lastWorkers = w
+		}
+		if backlog == 0 && scaler.Workers() == 1 && wh.Queues().Len(core.LoaderDeadLetters) > 0 {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	fmt.Printf("\npeak fleet: %d instances; documents indexed: %d\n", scaler.Peak(), scaler.Processed())
+	fmt.Printf("dead-letter queue: %d message(s) (the poison document)\n",
+		wh.Queues().Len(core.LoaderDeadLetters))
+	bill := pricing.Singapore2012().Bill(wh.Ledger().Snapshot())
+	fmt.Printf("\ncharged:\n%s", bill)
+}

@@ -1,0 +1,80 @@
+// Museum: the paper's running example in full.
+//
+// Loads the Figure 3 documents (and the rest of the paintings corpus),
+// indexes them under every strategy, and runs the five sample queries of
+// Figure 2 — including q4's range predicate and q5's value join — showing
+// per-strategy index look-up precision next to the answers.
+//
+//	go run ./examples/museum
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"repro/internal/cloud/ec2"
+	"repro/internal/core"
+	"repro/internal/index"
+	"repro/internal/workload"
+	"repro/internal/xmark"
+)
+
+func main() {
+	// One warehouse per strategy, same corpus.
+	warehouses := map[index.Strategy]*core.Warehouse{}
+	for _, s := range index.All() {
+		wh, err := core.New(core.Config{Strategy: s})
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, doc := range xmark.Paintings() {
+			if err := wh.SubmitDocument(doc.URI, doc.Data); err != nil {
+				log.Fatal(err)
+			}
+		}
+		fleet := ec2.LaunchFleet(wh.Ledger(), ec2.Large, 1)
+		if _, err := wh.IndexCorpusOn(fleet, nil); err != nil {
+			log.Fatal(err)
+		}
+		warehouses[s] = wh
+	}
+
+	for _, q := range workload.Paintings() {
+		fmt.Printf("%s — %s\n  %s\n", q.Name, q.About, q.Text)
+
+		// Index look-up precision per strategy.
+		parsed := q.Parse()
+		fmt.Printf("  documents from index look-up:")
+		for _, s := range index.All() {
+			per, _, err := index.LookupQuery(warehouses[s].Store(), s, parsed)
+			if err != nil {
+				log.Fatal(err)
+			}
+			n := 0
+			for _, uris := range per {
+				n += len(uris)
+			}
+			fmt.Printf("  %s=%d", s.Name(), n)
+		}
+		fmt.Println()
+
+		// Answers (via the 2LUPI warehouse; all strategies agree).
+		in := ec2.Launch(warehouses[index.TwoLUPI].Ledger(), ec2.Large)
+		result, _, err := warehouses[index.TwoLUPI].RunQueryOn(in, q.Text, true)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, row := range result.Rows {
+			cols := make([]string, len(row.Cols))
+			for i, c := range row.Cols {
+				if len(c) > 60 {
+					c = c[:57] + "..."
+				}
+				cols[i] = c
+			}
+			fmt.Printf("    %s  (%s)\n", strings.Join(cols, " | "), row.URI)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,201 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/cloud/dynamodb"
+	"repro/internal/cloud/kv"
+	"repro/internal/index"
+	"repro/internal/meter"
+	"repro/internal/workload"
+)
+
+// This file holds ablation studies for the design choices DESIGN.md calls
+// out: compressed binary identifier encoding, write batching, and 2LUPI's
+// semijoin reduction. (Holistic vs binary twig joins are exercised as Go
+// benchmarks in bench_test.go.)
+
+func xmarkWorkload() []workload.Query { return workload.XMark() }
+
+// AblationResult is a generic two-variant measurement.
+type AblationResult struct {
+	Name     string
+	VariantA string
+	VariantB string
+	A, B     float64
+	Unit     string
+}
+
+func (r AblationResult) String() string {
+	return fmt.Sprintf("%-28s: %s=%.2f %s, %s=%.2f %s (ratio %.2fx)",
+		r.Name, r.VariantA, r.A, r.Unit, r.VariantB, r.B, r.Unit, safeRatio(r.A, r.B))
+}
+
+func safeRatio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+// RunAblationIDEncoding loads the LUI index with the compressed binary
+// codec versus the plain text codec (both on DynamoDB) and compares stored
+// bytes and modeled upload time — the "compressed binary values" win of
+// Section 8.2.
+func RunAblationIDEncoding(c *Corpus) ([]AblationResult, error) {
+	measure := func(binary bool) (int64, time.Duration, error) {
+		store := dynamodb.New(meter.NewLedger())
+		if err := index.CreateTables(store, index.LUI); err != nil {
+			return 0, 0, err
+		}
+		opts := index.OptionsFor(store)
+		opts.BinaryIDs = binary
+		uuids := index.NewUUIDGen(21)
+		var upload time.Duration
+		for _, d := range c.Parsed {
+			dur, _, err := index.LoadDocument(store, index.LUI, d, uuids, opts)
+			if err != nil {
+				return 0, 0, err
+			}
+			upload += dur
+		}
+		var bytes int64
+		for _, t := range index.LUI.Tables() {
+			bytes += store.TableBytes(t)
+		}
+		return bytes, upload, nil
+	}
+	tb, tt, err := measure(false)
+	if err != nil {
+		return nil, err
+	}
+	bb, bt, err := measure(true)
+	if err != nil {
+		return nil, err
+	}
+	return []AblationResult{
+		{Name: "LUI index bytes", VariantA: "text IDs", VariantB: "binary IDs",
+			A: float64(tb) / (1 << 20), B: float64(bb) / (1 << 20), Unit: "MB"},
+		{Name: "LUI upload time", VariantA: "text IDs", VariantB: "binary IDs",
+			A: tt.Seconds(), B: bt.Seconds(), Unit: "s"},
+	}, nil
+}
+
+// RunAblationBatching loads the LUP index with batchPut(25) versus
+// singleton puts and compares API requests and modeled upload time — why
+// the loader batches documents (Section 8.2).
+func RunAblationBatching(c *Corpus) ([]AblationResult, error) {
+	measure := func(batch int) (int64, time.Duration, error) {
+		ledger := meter.NewLedger()
+		perf := dynamodb.DefaultPerf()
+		store := kv.NewMemStore(kv.Config{
+			Backend: dynamodb.Backend,
+			Limits: kv.Limits{
+				MaxItemBytes:   dynamodb.MaxItemBytes,
+				MaxValueBytes:  dynamodb.MaxItemBytes,
+				BatchPutItems:  batch,
+				BatchGetKeys:   100,
+				SupportsBinary: true,
+			},
+			Perf:            perf,
+			PerItemOverhead: 100,
+			Ledger:          ledger,
+		})
+		if err := index.CreateTables(store, index.LUP); err != nil {
+			return 0, 0, err
+		}
+		uuids := index.NewUUIDGen(22)
+		opts := index.OptionsFor(store)
+		var upload time.Duration
+		for _, d := range c.Parsed {
+			dur, _, err := index.LoadDocument(store, index.LUP, d, uuids, opts)
+			if err != nil {
+				return 0, 0, err
+			}
+			upload += dur
+		}
+		return ledger.Snapshot().Get(dynamodb.Backend, "put").Calls, upload, nil
+	}
+	singleReqs, singleTime, err := measure(1)
+	if err != nil {
+		return nil, err
+	}
+	batchReqs, batchTime, err := measure(25)
+	if err != nil {
+		return nil, err
+	}
+	return []AblationResult{
+		{Name: "LUP upload API requests", VariantA: "put(1)", VariantB: "batchPut(25)",
+			A: float64(singleReqs), B: float64(batchReqs), Unit: "requests"},
+		{Name: "LUP upload time", VariantA: "put(1)", VariantB: "batchPut(25)",
+			A: singleTime.Seconds(), B: batchTime.Seconds(), Unit: "s"},
+	}, nil
+}
+
+// RunAblationPathCompression loads the LUP index with and without the
+// front-coded path lists (the improvement suggested by the paper's
+// conclusion) and compares stored bytes and modeled upload time.
+func RunAblationPathCompression(c *Corpus) ([]AblationResult, error) {
+	measure := func(compress bool) (int64, time.Duration, error) {
+		store := dynamodb.New(meter.NewLedger())
+		if err := index.CreateTables(store, index.LUP); err != nil {
+			return 0, 0, err
+		}
+		opts := index.OptionsFor(store)
+		opts.CompressPaths = compress
+		uuids := index.NewUUIDGen(23)
+		var upload time.Duration
+		for _, d := range c.Parsed {
+			dur, _, err := index.LoadDocument(store, index.LUP, d, uuids, opts)
+			if err != nil {
+				return 0, 0, err
+			}
+			upload += dur
+		}
+		var bytes int64
+		for _, t := range index.LUP.Tables() {
+			bytes += store.TableBytes(t)
+		}
+		return bytes, upload, nil
+	}
+	pb, pt, err := measure(false)
+	if err != nil {
+		return nil, err
+	}
+	cb, ct, err := measure(true)
+	if err != nil {
+		return nil, err
+	}
+	return []AblationResult{
+		{Name: "LUP index bytes", VariantA: "plain paths", VariantB: "front-coded",
+			A: float64(pb) / (1 << 20), B: float64(cb) / (1 << 20), Unit: "MB"},
+		{Name: "LUP upload time", VariantA: "plain paths", VariantB: "front-coded",
+			A: pt.Seconds(), B: ct.Seconds(), Unit: "s"},
+	}, nil
+}
+
+// RunAblationSemijoin compares, per query, the documents whose identifier
+// streams enter the holistic twig join under plain LUI versus 2LUPI with
+// its LUP-reduction (the semijoin of Figure 5).
+func RunAblationSemijoin(e *QueryEnv) (string, error) {
+	var b strings.Builder
+	b.WriteString("Ablation: twig-join candidate documents, LUI vs 2LUPI (semijoin reduction of Figure 5)\n")
+	fmt.Fprintf(&b, "%-6s | %-10s | %-16s\n", "query", "LUI", "2LUPI(reduced)")
+	for _, q := range e.Queries {
+		p := q.Parse()
+		wLUI := e.Warehouse(AccessPath(index.LUI.Name()))
+		_, sLUI, err := index.LookupQuery(wLUI.Store(), index.LUI, p)
+		if err != nil {
+			return "", err
+		}
+		w2 := e.Warehouse(AccessPath(index.TwoLUPI.Name()))
+		_, s2, err := index.LookupQuery(w2.Store(), index.TwoLUPI, p)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "%-6s | %-10d | %-16d\n", q.Name, sLUI.TwigCandidates, s2.TwigCandidates)
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,70 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/costmodel"
+	"repro/internal/index"
+	"repro/internal/pricing"
+)
+
+// This file regenerates Figure 13: for each strategy, the cumulated
+// per-run benefit (workload cost without index minus with index, on a
+// large instance) against the index building cost. The index has paid for
+// itself where the curve crosses zero.
+
+// Fig13Row is one strategy's amortization data.
+type Fig13Row struct {
+	Strategy  index.Strategy
+	BuildCost pricing.USD
+	Benefit   pricing.USD // per workload run
+	BreakEven int         // runs to recover the build cost
+	Curve     []pricing.USD
+}
+
+// RunFig13 combines the indexing costs (Table 6 measurements) with the
+// workload costs (Figure 11 measurements on large instances).
+func RunFig13(indexing []IndexingRow, cells []Fig9Cell, runs int) []Fig13Row {
+	noIndex := WorkloadCost(cells, NoIndex, "l")
+	var rows []Fig13Row
+	for _, ir := range indexing {
+		indexed := WorkloadCost(cells, AccessPath(ir.Strategy.Name()), "l")
+		benefit := costmodel.Benefit(noIndex, indexed)
+		rows = append(rows, Fig13Row{
+			Strategy:  ir.Strategy,
+			BuildCost: ir.Cost.Total(),
+			Benefit:   benefit,
+			BreakEven: costmodel.BreakEvenRuns(ir.Cost.Total(), benefit),
+			Curve:     costmodel.AmortizationCurve(ir.Cost.Total(), benefit, runs),
+		})
+	}
+	return rows
+}
+
+// Fig13 renders the amortization table.
+func Fig13(rows []Fig13Row) string {
+	var b strings.Builder
+	b.WriteString("Figure 13: index cost amortization (large instance)\n")
+	fmt.Fprintf(&b, "%-8s | %-12s | %-12s | %-10s\n", "Strategy", "build cost", "benefit/run", "break-even")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-8s | %-12s | %-12s | %-10d\n",
+			r.Strategy.Name(), usd(r.BuildCost), usd(r.Benefit), r.BreakEven)
+	}
+	b.WriteString("\ncumulated benefit - build cost by run count:\n")
+	fmt.Fprintf(&b, "%-6s", "runs")
+	for _, r := range rows {
+		fmt.Fprintf(&b, " | %-12s", r.Strategy.Name())
+	}
+	b.WriteString("\n")
+	if len(rows) > 0 {
+		for i := range rows[0].Curve {
+			fmt.Fprintf(&b, "%-6d", i)
+			for _, r := range rows {
+				fmt.Fprintf(&b, " | %-12s", usd(r.Curve[i]))
+			}
+			b.WriteString("\n")
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,112 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// ASCII rendering of Figure 9a: per-query response-time bars on a
+// logarithmic axis, the way the paper's chart presents them (its y axis is
+// log-scale). One row per (query, access path); bar lengths are
+// log-proportional between the fastest and slowest cell of the instance
+// type.
+
+// Fig9aChart renders the response times of one instance type as bars.
+func Fig9aChart(cells []Fig9Cell, instance string) string {
+	type row struct {
+		query  string
+		access AccessPath
+		secs   float64
+	}
+	// Regroup query-major (cells arrive access-major), with access paths
+	// in figure order within each query.
+	byQuery := map[string]map[AccessPath]float64{}
+	var queryOrder []string
+	min, max := math.Inf(1), 0.0
+	for _, c := range cells {
+		if c.Instance != instance {
+			continue
+		}
+		s := c.Response.Seconds()
+		if s <= 0 {
+			continue
+		}
+		if byQuery[c.Query] == nil {
+			byQuery[c.Query] = map[AccessPath]float64{}
+			queryOrder = append(queryOrder, c.Query)
+		}
+		byQuery[c.Query][c.Access] = s
+		if s < min {
+			min = s
+		}
+		if s > max {
+			max = s
+		}
+	}
+	var rows []row
+	for _, q := range queryOrder {
+		for _, a := range AccessPaths() {
+			if s, ok := byQuery[q][a]; ok {
+				rows = append(rows, row{q, a, s})
+			}
+		}
+	}
+	if len(rows) == 0 || min <= 0 || max <= min {
+		return ""
+	}
+	const width = 46
+	scale := func(s float64) int {
+		frac := math.Log(s/min) / math.Log(max/min)
+		n := int(frac*float64(width-1)) + 1
+		if n < 1 {
+			n = 1
+		}
+		if n > width {
+			n = width
+		}
+		return n
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 9a (chart): response time, %s instances — log scale, %.3fs .. %.3fs\n",
+		instance, min, max)
+	lastQuery := ""
+	for _, r := range rows {
+		if r.query != lastQuery && lastQuery != "" {
+			b.WriteString("\n")
+		}
+		lastQuery = r.query
+		fmt.Fprintf(&b, "%-5s %-6s |%s %.3fs\n",
+			r.query, r.access, strings.Repeat("#", scale(r.secs)), r.secs)
+	}
+	return b.String()
+}
+
+// Fig13Chart renders the amortization curves as one lane per strategy:
+// '-' while the cumulated benefit is below the build cost, '+' after the
+// break-even run.
+func Fig13Chart(rows []Fig13Row) string {
+	if len(rows) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString("Figure 13 (chart): runs until the index pays for itself ('+' = amortized)\n")
+	runs := len(rows[0].Curve) - 1
+	fmt.Fprintf(&b, "%-8s ", "runs:")
+	for i := 0; i <= runs; i++ {
+		fmt.Fprintf(&b, "%d", i%10)
+	}
+	b.WriteString("\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-8s ", r.Strategy.Name())
+		for _, v := range r.Curve {
+			if v >= 0 {
+				b.WriteString("+")
+			} else {
+				b.WriteString("-")
+			}
+		}
+		fmt.Fprintf(&b, "  break-even at %d\n", r.BreakEven)
+	}
+	return b.String()
+}

@@ -1,0 +1,118 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/cloud/ec2"
+	"repro/internal/index"
+	"repro/internal/pricing"
+)
+
+// This file regenerates Tables 7 and 8 (Section 8.4): the comparison
+// between this work's DynamoDB-backed index and the SimpleDB-backed index
+// of the predecessor system [8]. Everything is reported per MB (or GB) of
+// XML data, as the paper does to compare runs at different corpus sizes.
+
+// CompareRow is one strategy's two-backend measurement.
+type CompareRow struct {
+	Strategy index.Strategy
+	// Indexing speed in ms per MB of XML, and cost in $ per MB.
+	IndexMsPerMB  map[string]float64
+	IndexUSDPerMB map[string]pricing.USD
+	// Query speed in ms per MB and cost in $ per MB, whole workload on
+	// one large instance.
+	QueryMsPerMB  map[string]float64
+	QueryUSDPerMB map[string]pricing.USD
+}
+
+// CompareStorage is the bottom block of Table 7: monthly storage $ per GB
+// of XML data.
+type CompareStorage struct {
+	IndexPerGB map[string]pricing.USD // per backend
+	DataPerGB  pricing.USD
+}
+
+// RunCompare indexes and queries the corpus on both backends.
+func RunCompare(c *Corpus) ([]CompareRow, CompareStorage, error) {
+	book := pricing.Singapore2012()
+	mb := c.MB()
+	rows := make([]CompareRow, len(Strategies()))
+	for i, s := range Strategies() {
+		rows[i] = CompareRow{
+			Strategy:      s,
+			IndexMsPerMB:  map[string]float64{},
+			IndexUSDPerMB: map[string]pricing.USD{},
+			QueryMsPerMB:  map[string]float64{},
+			QueryUSDPerMB: map[string]pricing.USD{},
+		}
+	}
+	storage := CompareStorage{IndexPerGB: map[string]pricing.USD{}, DataPerGB: book.STMonthGB}
+
+	for _, backend := range []string{"dynamodb", "simpledb"} {
+		indexing, err := RunIndexing(c, backend, 8, ec2.Large)
+		if err != nil {
+			return nil, storage, fmt.Errorf("bench: compare on %s: %w", backend, err)
+		}
+		var idxStorage pricing.USD
+		for i, ir := range indexing {
+			rows[i].IndexMsPerMB[backend] = float64(ir.Total.Milliseconds()) / mb
+			rows[i].IndexUSDPerMB[backend] = ir.Cost.Total() / pricing.USD(mb)
+
+			w := ir.Warehouse
+			in := ec2.Launch(w.Ledger(), ec2.Large)
+			before := w.Ledger().Snapshot()
+			var total time.Duration
+			for _, q := range xmarkWorkload() {
+				_, stats, err := w.RunQueryOn(in, q.Text, true)
+				if err != nil {
+					return nil, storage, fmt.Errorf("bench: compare query %s on %s: %w", q.Name, backend, err)
+				}
+				total += stats.ResponseTime
+			}
+			cost := book.Bill(w.Ledger().Snapshot().Sub(before)).Total()
+			rows[i].QueryMsPerMB[backend] = float64(total.Milliseconds()) / mb
+			rows[i].QueryUSDPerMB[backend] = cost / pricing.USD(mb)
+
+			raw, ovh := w.IndexBytes()
+			idxStorage += book.StorageMonthly(0, raw+ovh, backend).Total()
+		}
+		// Average index storage price across strategies, per GB of XML.
+		xmlGB := float64(c.Bytes) / pricing.GB
+		storage.IndexPerGB[backend] = idxStorage / pricing.USD(float64(len(indexing))*xmlGB)
+	}
+	return rows, storage, nil
+}
+
+// Table7 renders the indexing comparison.
+func Table7(rows []CompareRow, storage CompareStorage) string {
+	var b strings.Builder
+	b.WriteString("Table 7: indexing comparison — SimpleDB backend ([8]) vs DynamoDB backend (this work)\n")
+	fmt.Fprintf(&b, "%-8s | %-24s | %-28s\n", "", "speed (ms/MB of XML)", "cost ($/MB of XML)")
+	fmt.Fprintf(&b, "%-8s | %-11s %-11s | %-13s %-13s\n", "Strategy", "SimpleDB", "DynamoDB", "SimpleDB", "DynamoDB")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-8s | %-11.1f %-11.1f | %-13.7f %-13.7f\n",
+			r.Strategy.Name(),
+			r.IndexMsPerMB["simpledb"], r.IndexMsPerMB["dynamodb"],
+			float64(r.IndexUSDPerMB["simpledb"]), float64(r.IndexUSDPerMB["dynamodb"]))
+	}
+	fmt.Fprintf(&b, "monthly storage ($/GB of XML): index SimpleDB %s, index DynamoDB %s, data %s\n",
+		usd(storage.IndexPerGB["simpledb"]), usd(storage.IndexPerGB["dynamodb"]), usd(storage.DataPerGB))
+	return b.String()
+}
+
+// Table8 renders the query comparison.
+func Table8(rows []CompareRow) string {
+	var b strings.Builder
+	b.WriteString("Table 8: query processing comparison — SimpleDB backend ([8]) vs DynamoDB backend (this work)\n")
+	fmt.Fprintf(&b, "%-8s | %-24s | %-30s\n", "", "speed (ms/MB of XML)", "cost ($/MB of XML)")
+	fmt.Fprintf(&b, "%-8s | %-11s %-11s | %-14s %-14s\n", "Strategy", "SimpleDB", "DynamoDB", "SimpleDB", "DynamoDB")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-8s | %-11.2f %-11.2f | %-14.9f %-14.9f\n",
+			r.Strategy.Name(),
+			r.QueryMsPerMB["simpledb"], r.QueryMsPerMB["dynamodb"],
+			float64(r.QueryUSDPerMB["simpledb"]), float64(r.QueryUSDPerMB["dynamodb"]))
+	}
+	return b.String()
+}

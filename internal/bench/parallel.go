@@ -1,0 +1,105 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/cloud/ec2"
+)
+
+// This file regenerates Figure 10: the whole workload submitted 16 times
+// (q1..q10, q1..q10, ...) processed by 1 versus 8 EC2 query-processing
+// instances, for both instance types. More instances cut the elapsed time
+// near-linearly; many strong instances approach the index store's
+// provisioned capacity, which damps the gain (Section 8.2).
+
+// Fig10Cell is one (strategy, instance type, fleet size) measurement.
+type Fig10Cell struct {
+	Access    AccessPath
+	Instance  string
+	Instances int
+	Total     time.Duration
+}
+
+// RunFig10 measures the workload x repeats on fleets of 1 and 8 instances.
+func RunFig10(e *QueryEnv, repeats int) ([]Fig10Cell, error) {
+	var cells []Fig10Cell
+	for _, typ := range []ec2.InstanceType{ec2.Large, ec2.XL} {
+		for _, n := range []int{1, 8} {
+			for _, s := range Strategies() {
+				a := AccessPath(s.Name())
+				w := e.Warehouse(a)
+				fleet := ec2.LaunchFleet(w.Ledger(), typ, n)
+				// Every fleet worker thread drives the index store
+				// concurrently during the phase.
+				workers := 0
+				for _, in := range fleet {
+					workers += in.Type.Cores
+				}
+				for i := 0; i < workers; i++ {
+					w.Store().RegisterClient()
+				}
+				ec2.FleetLevel(fleet)
+				start := ec2.FleetElapsed(fleet)
+				task := 0
+				for rep := 0; rep < repeats; rep++ {
+					for _, q := range e.Queries {
+						in := fleet[task%len(fleet)]
+						task++
+						if _, _, err := w.RunQueryOn(in, q.Text, true); err != nil {
+							for i := 0; i < workers; i++ {
+								w.Store().UnregisterClient()
+							}
+							return nil, fmt.Errorf("bench: fig10 %s %s x%d: %w", a, typ.Name, n, err)
+						}
+					}
+				}
+				ec2.FleetLevel(fleet)
+				for i := 0; i < workers; i++ {
+					w.Store().UnregisterClient()
+				}
+				cells = append(cells, Fig10Cell{
+					Access:    a,
+					Instance:  typ.Name,
+					Instances: n,
+					Total:     ec2.FleetElapsed(fleet) - start,
+				})
+			}
+		}
+	}
+	return cells, nil
+}
+
+// Fig10 renders the parallelism figure.
+func Fig10(cells []Fig10Cell, repeats int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 10: workload x%d response time (modeled seconds), 1 vs 8 instances\n", repeats)
+	fmt.Fprintf(&b, "%-8s %-4s | %-12s | %-12s | %-8s\n", "access", "type", "1 instance", "8 instances", "speedup")
+	byKey := map[string][2]time.Duration{}
+	var order []string
+	for _, c := range cells {
+		k := string(c.Access) + " " + c.Instance
+		v, ok := byKey[k]
+		if !ok {
+			order = append(order, k)
+		}
+		if c.Instances == 1 {
+			v[0] = c.Total
+		} else {
+			v[1] = c.Total
+		}
+		byKey[k] = v
+	}
+	for _, k := range order {
+		v := byKey[k]
+		parts := strings.SplitN(k, " ", 2)
+		speedup := 0.0
+		if v[1] > 0 {
+			speedup = float64(v[0]) / float64(v[1])
+		}
+		fmt.Fprintf(&b, "%-8s %-4s | %-12.2f | %-12.2f | %-8.2f\n",
+			parts[0], parts[1], v[0].Seconds(), v[1].Seconds(), speedup)
+	}
+	return b.String()
+}

@@ -1,0 +1,37 @@
+package dynamodb
+
+import (
+	"testing"
+
+	"repro/internal/meter"
+)
+
+func TestConfiguration(t *testing.T) {
+	s := New(meter.NewLedger())
+	if s.Backend() != Backend {
+		t.Errorf("backend = %q", s.Backend())
+	}
+	lim := s.Limits()
+	if lim.MaxItemBytes != 64<<10 {
+		t.Errorf("item cap = %d, want 64KB (Section 6)", lim.MaxItemBytes)
+	}
+	if lim.BatchPutItems != 25 || lim.BatchGetKeys != 100 {
+		t.Errorf("batch limits = %d/%d, want 25/100 (Section 6)", lim.BatchPutItems, lim.BatchGetKeys)
+	}
+	if !lim.SupportsBinary {
+		t.Error("DynamoDB must accept binary values (Section 8.2)")
+	}
+}
+
+func TestDefaultPerfSane(t *testing.T) {
+	p := DefaultPerf()
+	if p.RTT <= 0 || p.WriteCapacityUnits <= 0 || p.ClientWriteUnits <= 0 {
+		t.Errorf("perf = %+v", p)
+	}
+	if p.ClientWriteUnits*16 <= p.WriteCapacityUnits {
+		t.Error("16 sustained clients (8 large instances) must be able to saturate the write capacity, per Section 8.2")
+	}
+	if p.ClientWriteUnits*2 >= p.WriteCapacityUnits {
+		t.Error("a single instance must not saturate the store")
+	}
+}

@@ -1,0 +1,132 @@
+// Package kv defines the common interface of the simulated cloud key-value
+// stores (DynamoDB and SimpleDB) that host the warehouse index.
+//
+// The data model follows Figure 6 of the paper: a database holds tables;
+// a table holds items; an item holds one or more attributes; an attribute
+// has a name and one or several values. Items are addressed by a composite
+// primary key (hash key + range key). A Get on a hash key returns every
+// item sharing that hash key, regardless of range key.
+//
+// Index code is written against this interface so that the same strategies
+// run on DynamoDB (this paper) and SimpleDB (the predecessor system [8]
+// used in the Section 8.4 comparison).
+package kv
+
+import (
+	"errors"
+	"time"
+)
+
+// Value is a single attribute value. DynamoDB accepts arbitrary binary
+// values (the feature the paper exploits to store compressed ID sets);
+// SimpleDB only accepts UTF-8 text up to 1 KB.
+type Value []byte
+
+// Attr is a named attribute carrying one or more values.
+type Attr struct {
+	Name   string
+	Values []Value
+}
+
+// Size returns the billing-relevant size of the attribute: name plus all
+// value bytes.
+func (a Attr) Size() int64 {
+	n := int64(len(a.Name))
+	for _, v := range a.Values {
+		n += int64(len(v))
+	}
+	return n
+}
+
+// Item is one table row.
+type Item struct {
+	HashKey  string
+	RangeKey string
+	Attrs    []Attr
+}
+
+// Size returns the billing-relevant size of the item: key bytes plus
+// attribute bytes.
+func (it Item) Size() int64 {
+	n := int64(len(it.HashKey) + len(it.RangeKey))
+	for _, a := range it.Attrs {
+		n += a.Size()
+	}
+	return n
+}
+
+// Attr returns the values of the named attribute, or nil if absent.
+func (it Item) Attr(name string) []Value {
+	for _, a := range it.Attrs {
+		if a.Name == name {
+			return a.Values
+		}
+	}
+	return nil
+}
+
+// Errors shared by store implementations.
+var (
+	ErrNoSuchTable   = errors.New("kv: no such table")
+	ErrTableExists   = errors.New("kv: table already exists")
+	ErrItemTooLarge  = errors.New("kv: item exceeds the maximum item size")
+	ErrValueTooLarge = errors.New("kv: attribute value exceeds the maximum value size")
+	ErrBatchTooLarge = errors.New("kv: batch exceeds the maximum batch size")
+	ErrNotText       = errors.New("kv: store does not accept binary attribute values")
+	ErrEmptyKey      = errors.New("kv: empty hash key")
+)
+
+// Limits describes a store's hard limits and capabilities.
+type Limits struct {
+	MaxItemBytes   int64 // maximum size of one item (64 KB for DynamoDB)
+	MaxValueBytes  int64 // maximum size of one attribute value
+	BatchPutItems  int   // maximum items per batch put (25 for DynamoDB)
+	BatchGetKeys   int   // maximum keys per batch get (100 for DynamoDB)
+	SupportsBinary bool  // whether values may be arbitrary bytes
+}
+
+// Store is the key-value service interface used by the index layer.
+// Every data operation returns the modeled latency the caller must charge
+// to its virtual machine timeline.
+type Store interface {
+	// Backend names the implementation ("dynamodb" or "simpledb"); it is
+	// also the service name under which requests are metered and billed.
+	Backend() string
+
+	Limits() Limits
+
+	CreateTable(name string) error
+	DeleteTable(name string) error
+	Tables() []string
+
+	// Put inserts or fully replaces one item.
+	Put(table string, item Item) (time.Duration, error)
+	// BatchPut inserts up to Limits().BatchPutItems items in one request.
+	BatchPut(table string, items []Item) (time.Duration, error)
+	// Get returns all items with the given hash key, in ascending range
+	// key order.
+	Get(table, hashKey string) ([]Item, time.Duration, error)
+	// BatchGet performs up to Limits().BatchGetKeys Get operations in one
+	// request.
+	BatchGet(table string, hashKeys []string) (map[string][]Item, time.Duration, error)
+	// DeleteItem removes one item by its full primary key. Deleting a
+	// missing item is not an error (DynamoDB semantics).
+	DeleteItem(table, hashKey, rangeKey string) (time.Duration, error)
+
+	// TableBytes returns the user-data bytes stored in a table, and
+	// OverheadBytes the store's own auxiliary structure size for it
+	// (the ovh(D,I) term of Section 7.1).
+	TableBytes(table string) int64
+	OverheadBytes(table string) int64
+	// TotalBytes returns user bytes plus overhead across all tables.
+	TotalBytes() int64
+	// ItemCount returns the number of items in a table.
+	ItemCount(table string) int64
+
+	// RegisterClient and UnregisterClient bracket a period during which a
+	// worker thread issues sustained requests; the store divides its
+	// provisioned capacity among registered clients (the saturation
+	// effect of Figures 7 and 10).
+	RegisterClient()
+	UnregisterClient()
+}

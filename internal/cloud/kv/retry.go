@@ -1,0 +1,178 @@
+package kv
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ErrThrottled is the transient "provisioned throughput exceeded" failure
+// real DynamoDB returns under load; clients are expected to back off and
+// retry.
+var ErrThrottled = errors.New("kv: provisioned throughput exceeded")
+
+// Retry wraps a store so that throttled data operations are retried with
+// exponential backoff. The backoff is charged as modeled latency on the
+// returned duration, so retries cost virtual-machine time exactly like
+// they would on EC2. Non-transient errors pass through unchanged.
+type Retry struct {
+	Store
+	// MaxAttempts bounds the tries per operation (default 5).
+	MaxAttempts int
+	// BaseBackoff is the first retry's wait, doubled per attempt
+	// (default 50ms).
+	BaseBackoff time.Duration
+}
+
+// NewRetry wraps a store with default policy.
+func NewRetry(s Store) *Retry {
+	return &Retry{Store: s, MaxAttempts: 5, BaseBackoff: 50 * time.Millisecond}
+}
+
+func (r *Retry) attempts() int {
+	if r.MaxAttempts > 0 {
+		return r.MaxAttempts
+	}
+	return 5
+}
+
+func (r *Retry) backoff(attempt int) time.Duration {
+	base := r.BaseBackoff
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	return base << attempt
+}
+
+// retry runs op until it succeeds, fails hard, or exhausts attempts,
+// accumulating modeled latency across attempts.
+func (r *Retry) retry(op func() (time.Duration, error)) (time.Duration, error) {
+	var total time.Duration
+	for attempt := 0; ; attempt++ {
+		d, err := op()
+		total += d
+		if err == nil {
+			return total, nil
+		}
+		if !errors.Is(err, ErrThrottled) || attempt+1 >= r.attempts() {
+			return total, err
+		}
+		total += r.backoff(attempt)
+	}
+}
+
+// Put implements Store with retries.
+func (r *Retry) Put(table string, item Item) (time.Duration, error) {
+	return r.retry(func() (time.Duration, error) { return r.Store.Put(table, item) })
+}
+
+// BatchPut implements Store with retries.
+func (r *Retry) BatchPut(table string, items []Item) (time.Duration, error) {
+	return r.retry(func() (time.Duration, error) { return r.Store.BatchPut(table, items) })
+}
+
+// DeleteItem implements Store with retries.
+func (r *Retry) DeleteItem(table, hashKey, rangeKey string) (time.Duration, error) {
+	return r.retry(func() (time.Duration, error) { return r.Store.DeleteItem(table, hashKey, rangeKey) })
+}
+
+// Get implements Store with retries.
+func (r *Retry) Get(table, hashKey string) ([]Item, time.Duration, error) {
+	var items []Item
+	d, err := r.retry(func() (time.Duration, error) {
+		var d time.Duration
+		var err error
+		items, d, err = r.Store.Get(table, hashKey)
+		return d, err
+	})
+	return items, d, err
+}
+
+// BatchGet implements Store with retries.
+func (r *Retry) BatchGet(table string, hashKeys []string) (map[string][]Item, time.Duration, error) {
+	var out map[string][]Item
+	d, err := r.retry(func() (time.Duration, error) {
+		var d time.Duration
+		var err error
+		out, d, err = r.Store.BatchGet(table, hashKeys)
+		return d, err
+	})
+	return out, d, err
+}
+
+// FaultInjector wraps a store and makes every n-th data operation fail
+// with ErrThrottled before reaching the underlying store. It exists to
+// test retry behaviour and loader resilience.
+type FaultInjector struct {
+	Store
+	// FailEvery makes operation number k fail whenever k % FailEvery == 0
+	// (1-based). Zero disables injection.
+	FailEvery int
+
+	mu    sync.Mutex
+	count int
+}
+
+func (f *FaultInjector) trip() error {
+	if f.FailEvery <= 0 {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.count++
+	if f.count%f.FailEvery == 0 {
+		return fmt.Errorf("%w (injected, op %d)", ErrThrottled, f.count)
+	}
+	return nil
+}
+
+// Injected reports how many operations were observed.
+func (f *FaultInjector) Injected() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.FailEvery <= 0 {
+		return 0
+	}
+	return f.count / f.FailEvery
+}
+
+// Put implements Store with injection.
+func (f *FaultInjector) Put(table string, item Item) (time.Duration, error) {
+	if err := f.trip(); err != nil {
+		return 0, err
+	}
+	return f.Store.Put(table, item)
+}
+
+// BatchPut implements Store with injection.
+func (f *FaultInjector) BatchPut(table string, items []Item) (time.Duration, error) {
+	if err := f.trip(); err != nil {
+		return 0, err
+	}
+	return f.Store.BatchPut(table, items)
+}
+
+// DeleteItem implements Store with injection.
+func (f *FaultInjector) DeleteItem(table, hashKey, rangeKey string) (time.Duration, error) {
+	if err := f.trip(); err != nil {
+		return 0, err
+	}
+	return f.Store.DeleteItem(table, hashKey, rangeKey)
+}
+
+// Get implements Store with injection.
+func (f *FaultInjector) Get(table, hashKey string) ([]Item, time.Duration, error) {
+	if err := f.trip(); err != nil {
+		return nil, 0, err
+	}
+	return f.Store.Get(table, hashKey)
+}
+
+// BatchGet implements Store with injection.
+func (f *FaultInjector) BatchGet(table string, hashKeys []string) (map[string][]Item, time.Duration, error) {
+	if err := f.trip(); err != nil {
+		return nil, 0, err
+	}
+	return f.Store.BatchGet(table, hashKeys)
+}

@@ -1,0 +1,125 @@
+package kv_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/cloud/dynamodb"
+	"repro/internal/cloud/kv"
+	"repro/internal/index"
+	"repro/internal/meter"
+	"repro/internal/pattern"
+	"repro/internal/xmark"
+	"repro/internal/xmltree"
+)
+
+func TestRetryHidesTransientThrottling(t *testing.T) {
+	base := dynamodb.New(meter.NewLedger())
+	if err := base.CreateTable("t"); err != nil {
+		t.Fatal(err)
+	}
+	faulty := &kv.FaultInjector{Store: base, FailEvery: 2}
+	retry := kv.NewRetry(faulty)
+	retry.BaseBackoff = time.Millisecond
+
+	for i := 0; i < 20; i++ {
+		if _, err := retry.Put("t", item("k", string(rune('a'+i)), attr("a", "v"))); err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+	}
+	if got := base.ItemCount("t"); got != 20 {
+		t.Errorf("items = %d, want 20", got)
+	}
+	if faulty.Injected() == 0 {
+		t.Error("no faults were injected")
+	}
+	items, _, err := retry.Get("t", "k")
+	if err != nil || len(items) != 20 {
+		t.Errorf("get = %d items, %v", len(items), err)
+	}
+}
+
+func TestRetryChargesBackoffTime(t *testing.T) {
+	base := dynamodb.New(meter.NewLedger())
+	base.CreateTable("t")
+	faulty := &kv.FaultInjector{Store: base, FailEvery: 2}
+	retry := kv.NewRetry(faulty)
+	retry.BaseBackoff = 100 * time.Millisecond
+
+	// First op fails twice? FailEvery=2: op1 ok, op2 throttled then op3 ok.
+	d1, err := retry.Put("t", item("k", "a", attr("a", "v")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := retry.Put("t", item("k", "b", attr("a", "v")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2 < d1+100*time.Millisecond {
+		t.Errorf("retried op latency %v does not include backoff (first %v)", d2, d1)
+	}
+}
+
+func TestRetryGivesUpEventually(t *testing.T) {
+	base := dynamodb.New(meter.NewLedger())
+	base.CreateTable("t")
+	alwaysFail := &kv.FaultInjector{Store: base, FailEvery: 1}
+	retry := kv.NewRetry(alwaysFail)
+	retry.BaseBackoff = time.Microsecond
+	retry.MaxAttempts = 3
+	_, err := retry.Put("t", item("k", "a", attr("a", "v")))
+	if !errors.Is(err, kv.ErrThrottled) {
+		t.Errorf("err = %v, want throttled", err)
+	}
+	if got := alwaysFail.Injected(); got != 3 {
+		t.Errorf("attempts = %d, want 3", got)
+	}
+}
+
+func TestRetryPassesHardErrorsThrough(t *testing.T) {
+	base := dynamodb.New(meter.NewLedger())
+	retry := kv.NewRetry(base) // no table created
+	if _, err := retry.Put("missing", item("k", "a")); !errors.Is(err, kv.ErrNoSuchTable) {
+		t.Errorf("err = %v, want no-such-table", err)
+	}
+}
+
+// End to end: a full index load over a flaky store succeeds behind the
+// retry wrapper and answers look-ups identically to a healthy store.
+func TestIndexLoadSurvivesThrottling(t *testing.T) {
+	docs := xmark.Paintings()
+	healthy := dynamodb.New(meter.NewLedger())
+	flakyBase := dynamodb.New(meter.NewLedger())
+	flaky := kv.NewRetry(&kv.FaultInjector{Store: flakyBase, FailEvery: 3})
+	flaky.BaseBackoff = time.Microsecond
+
+	for _, store := range []kv.Store{healthy, flaky} {
+		if err := index.CreateTables(store, index.LUP); err != nil {
+			t.Fatal(err)
+		}
+		uuids := index.NewUUIDGen(4)
+		opts := index.OptionsFor(store)
+		for _, gd := range docs {
+			d, err := xmltree.Parse(gd.URI, gd.Data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, _, err := index.LoadDocument(store, index.LUP, d, uuids, opts); err != nil {
+				t.Fatalf("load %s: %v", gd.URI, err)
+			}
+		}
+	}
+	q := pattern.MustParse(`//painting[/name~"Lion"]`).Patterns[0]
+	a, _, err := index.LookupPattern(healthy, index.LUP, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := index.LookupPattern(flaky, index.LUP, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) || len(a) == 0 {
+		t.Errorf("healthy %v vs flaky %v", a, b)
+	}
+}

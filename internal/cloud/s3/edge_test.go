@@ -1,0 +1,75 @@
+package s3
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/meter"
+)
+
+func TestHeadMissing(t *testing.T) {
+	s := newSvc(t)
+	if _, _, err := s.Head("wh", "nope"); !errors.Is(err, ErrNoSuchKey) {
+		t.Errorf("Head missing = %v", err)
+	}
+	if _, _, err := s.Head("nope", "k"); !errors.Is(err, ErrNoSuchBucket) {
+		t.Errorf("Head missing bucket = %v", err)
+	}
+}
+
+func TestListEmptyBucketAndMissingBucket(t *testing.T) {
+	s := newSvc(t)
+	keys, _, err := s.List("wh", "")
+	if err != nil || len(keys) != 0 {
+		t.Errorf("List empty = %v, %v", keys, err)
+	}
+	if _, _, err := s.List("nope", ""); !errors.Is(err, ErrNoSuchBucket) {
+		t.Errorf("List missing bucket = %v", err)
+	}
+}
+
+func TestOverwriteReplacesMetadata(t *testing.T) {
+	s := newSvc(t)
+	s.Put("wh", "k", []byte("v1"), map[string]string{"a": "1"})
+	s.Put("wh", "k", []byte("v2"), nil)
+	o, _, _ := s.Get("wh", "k")
+	if o.Meta != nil {
+		t.Errorf("metadata survived overwrite: %v", o.Meta)
+	}
+	if o.Version != 2 {
+		t.Errorf("version = %d", o.Version)
+	}
+}
+
+func TestZeroByteObject(t *testing.T) {
+	s := newSvc(t)
+	if _, err := s.Put("wh", "empty", nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	o, d, err := s.Get("wh", "empty")
+	if err != nil || len(o.Data) != 0 {
+		t.Errorf("Get empty = %v, %v", o, err)
+	}
+	if d < DefaultPerf().RTT {
+		t.Errorf("latency below RTT: %v", d)
+	}
+	if s.BucketBytes("wh") != 0 {
+		t.Errorf("bytes = %d", s.BucketBytes("wh"))
+	}
+}
+
+func TestBucketsListing(t *testing.T) {
+	s := New(meter.NewLedger())
+	for _, b := range []string{"zeta", "alpha"} {
+		if err := s.CreateBucket(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := s.Buckets()
+	if len(got) != 2 || got[0] != "alpha" || got[1] != "zeta" {
+		t.Errorf("Buckets = %v", got)
+	}
+	if s.BucketBytes("missing") != 0 || s.ObjectCount("missing") != 0 {
+		t.Error("missing bucket gauges non-zero")
+	}
+}

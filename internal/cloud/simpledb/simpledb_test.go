@@ -1,0 +1,38 @@
+package simpledb
+
+import (
+	"testing"
+
+	"repro/internal/cloud/dynamodb"
+	"repro/internal/meter"
+)
+
+func TestConfiguration(t *testing.T) {
+	s := New(meter.NewLedger())
+	if s.Backend() != Backend {
+		t.Errorf("backend = %q", s.Backend())
+	}
+	lim := s.Limits()
+	if lim.MaxValueBytes != 1<<10 {
+		t.Errorf("value cap = %d, want 1KB", lim.MaxValueBytes)
+	}
+	if lim.SupportsBinary {
+		t.Error("SimpleDB must reject binary values")
+	}
+	if lim.BatchGetKeys != 1 {
+		t.Errorf("batch get = %d, want 1 (no batch get in SimpleDB)", lim.BatchGetKeys)
+	}
+}
+
+func TestSlowerThanDynamoDB(t *testing.T) {
+	sdb, dyn := DefaultPerf(), dynamodb.DefaultPerf()
+	if sdb.RTT <= dyn.RTT {
+		t.Error("SimpleDB round trip must exceed DynamoDB's")
+	}
+	if sdb.WriteCapacityUnits >= dyn.WriteCapacityUnits {
+		t.Error("SimpleDB capacity must be below DynamoDB's")
+	}
+	if sdb.ClientWriteUnits >= dyn.ClientWriteUnits {
+		t.Error("SimpleDB per-client throughput must be below DynamoDB's")
+	}
+}

@@ -1,0 +1,238 @@
+package sqs
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/meter"
+)
+
+func newSvc(t *testing.T) *Service {
+	t.Helper()
+	s := New(meter.NewLedger())
+	if err := s.CreateQueue("q"); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSendReceiveDelete(t *testing.T) {
+	s := newSvc(t)
+	id, _, err := s.Send("q", "load doc1.xml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _, err := s.Receive("q", time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m == nil || m.ID != id || m.Body != "load doc1.xml" || m.ReceiveCount != 1 {
+		t.Fatalf("received %+v", m)
+	}
+	if _, err := s.Delete("q", m.Receipt); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Len("q"); got != 0 {
+		t.Errorf("Len = %d, want 0", got)
+	}
+}
+
+func TestReceiveOrderIsFIFO(t *testing.T) {
+	s := newSvc(t)
+	s.Send("q", "first")
+	s.Send("q", "second")
+	m1, _, _ := s.Receive("q", time.Minute)
+	m2, _, _ := s.Receive("q", time.Minute)
+	if m1.Body != "first" || m2.Body != "second" {
+		t.Errorf("order = %q, %q", m1.Body, m2.Body)
+	}
+}
+
+func TestLeasedMessageInvisible(t *testing.T) {
+	s := newSvc(t)
+	s.Send("q", "job")
+	m, _, _ := s.Receive("q", time.Minute)
+	if m == nil {
+		t.Fatal("no message")
+	}
+	m2, _, _ := s.Receive("q", time.Minute)
+	if m2 != nil {
+		t.Errorf("leased message redelivered: %+v", m2)
+	}
+}
+
+func TestLeaseExpiryRedelivers(t *testing.T) {
+	s := newSvc(t)
+	s.Send("q", "job")
+	m1, _, _ := s.Receive("q", 20*time.Millisecond)
+	time.Sleep(30 * time.Millisecond)
+	m2, _, _ := s.Receive("q", time.Minute)
+	if m2 == nil {
+		t.Fatal("expired lease not redelivered")
+	}
+	if m2.ReceiveCount != 2 {
+		t.Errorf("ReceiveCount = %d, want 2", m2.ReceiveCount)
+	}
+	// The crashed worker's late delete must not remove the retaken job.
+	if _, err := s.Delete("q", m1.Receipt); !errors.Is(err, ErrStaleReceipt) {
+		t.Errorf("stale delete: %v", err)
+	}
+	if got := s.Len("q"); got != 1 {
+		t.Errorf("Len = %d, want 1", got)
+	}
+	if _, err := s.Delete("q", m2.Receipt); err != nil {
+		t.Errorf("current delete: %v", err)
+	}
+}
+
+func TestChangeVisibilityRenewsLease(t *testing.T) {
+	s := newSvc(t)
+	s.Send("q", "job")
+	m, _, _ := s.Receive("q", 30*time.Millisecond)
+	// Renew before expiry; after the original timeout the message must
+	// still be invisible.
+	if _, err := s.ChangeVisibility("q", m.Receipt, 500*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	if m2, _, _ := s.Receive("q", time.Minute); m2 != nil {
+		t.Errorf("renewed lease redelivered: %+v", m2)
+	}
+}
+
+func TestChangeVisibilityZeroReleases(t *testing.T) {
+	s := newSvc(t)
+	s.Send("q", "job")
+	m, _, _ := s.Receive("q", time.Minute)
+	s.ChangeVisibility("q", m.Receipt, 0)
+	m2, _, _ := s.Receive("q", time.Minute)
+	if m2 == nil {
+		t.Error("released message not redelivered")
+	}
+}
+
+func TestReceiveEmptyQueue(t *testing.T) {
+	s := newSvc(t)
+	m, _, err := s.Receive("q", time.Minute)
+	if err != nil || m != nil {
+		t.Errorf("empty receive = (%+v, %v)", m, err)
+	}
+}
+
+func TestReceiveWaitBlocksUntilSend(t *testing.T) {
+	s := newSvc(t)
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		s.Send("q", "late")
+	}()
+	start := time.Now()
+	m, _, err := s.ReceiveWait("q", time.Minute, time.Second)
+	if err != nil || m == nil {
+		t.Fatalf("ReceiveWait = (%+v, %v)", m, err)
+	}
+	if time.Since(start) > 500*time.Millisecond {
+		t.Error("ReceiveWait did not wake promptly on send")
+	}
+}
+
+func TestReceiveWaitTimesOut(t *testing.T) {
+	s := newSvc(t)
+	start := time.Now()
+	m, _, err := s.ReceiveWait("q", time.Minute, 30*time.Millisecond)
+	if err != nil || m != nil {
+		t.Fatalf("ReceiveWait = (%+v, %v)", m, err)
+	}
+	if elapsed := time.Since(start); elapsed < 25*time.Millisecond {
+		t.Errorf("returned too early: %v", elapsed)
+	}
+}
+
+func TestReceiveWaitPicksUpExpiredLease(t *testing.T) {
+	s := newSvc(t)
+	s.Send("q", "job")
+	s.Receive("q", 30*time.Millisecond) // lease and "crash"
+	m, _, err := s.ReceiveWait("q", time.Minute, time.Second)
+	if err != nil || m == nil {
+		t.Fatalf("ReceiveWait after lease expiry = (%+v, %v)", m, err)
+	}
+}
+
+func TestQueueErrors(t *testing.T) {
+	s := newSvc(t)
+	if err := s.CreateQueue("q"); !errors.Is(err, ErrQueueExists) {
+		t.Errorf("duplicate queue: %v", err)
+	}
+	if err := s.CreateQueue(""); !errors.Is(err, ErrEmptyQueueName) {
+		t.Errorf("empty name: %v", err)
+	}
+	if _, _, err := s.Send("nope", "x"); !errors.Is(err, ErrNoSuchQueue) {
+		t.Errorf("missing queue send: %v", err)
+	}
+	if _, _, err := s.Receive("nope", time.Minute); !errors.Is(err, ErrNoSuchQueue) {
+		t.Errorf("missing queue receive: %v", err)
+	}
+	if _, err := s.Delete("q", "bogus"); !errors.Is(err, ErrStaleReceipt) {
+		t.Errorf("bogus receipt: %v", err)
+	}
+	if _, err := s.ChangeVisibility("q", "bogus", time.Second); !errors.Is(err, ErrStaleReceipt) {
+		t.Errorf("bogus visibility receipt: %v", err)
+	}
+}
+
+func TestMetering(t *testing.T) {
+	led := meter.NewLedger()
+	s := New(led)
+	s.CreateQueue("q")
+	s.Send("q", "body")
+	m, _, _ := s.Receive("q", time.Minute)
+	s.Delete("q", m.Receipt)
+	s.Receive("q", time.Minute) // empty poll is billed too
+	u := led.Snapshot()
+	if got := u.Get("sqs", "send").Calls; got != 1 {
+		t.Errorf("send calls = %d", got)
+	}
+	if got := u.Get("sqs", "receive").Calls; got != 2 {
+		t.Errorf("receive calls = %d", got)
+	}
+	if got := u.Get("sqs", "delete").Calls; got != 1 {
+		t.Errorf("delete calls = %d", got)
+	}
+}
+
+func TestConcurrentConsumersEachJobOnce(t *testing.T) {
+	s := newSvc(t)
+	const jobs = 50
+	for i := 0; i < jobs; i++ {
+		s.Send("q", "job")
+	}
+	var mu sync.Mutex
+	seen := make(map[string]int)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				m, _, _ := s.Receive("q", time.Minute)
+				if m == nil {
+					return
+				}
+				mu.Lock()
+				seen[m.ID]++
+				mu.Unlock()
+				s.Delete("q", m.Receipt)
+			}
+		}()
+	}
+	wg.Wait()
+	if len(seen) != jobs {
+		t.Fatalf("processed %d distinct jobs, want %d", len(seen), jobs)
+	}
+	for id, n := range seen {
+		if n != 1 {
+			t.Errorf("job %s processed %d times", id, n)
+		}
+	}
+}

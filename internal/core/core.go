@@ -1,0 +1,252 @@
+// Package core implements the paper's contribution: the cloud Web-data
+// warehouse architecture of Section 3 (Figure 1).
+//
+// Documents are stored as files in the S3 file store; the index lives in a
+// key-value store (DynamoDB, or SimpleDB for the comparison with [8]); EC2
+// virtual instances run the two application modules — the indexing module
+// and the query processor — and SQS queues provide reliable asynchronous
+// communication between the front end and the modules:
+//
+//	document in (1) -> S3 (2) -> loader request queue (3)
+//	   -> indexing module (4): fetch (5), extract, index store (6)
+//	query in (7) -> query request queue (8)
+//	   -> query processor (9): index look-up (10-12), fetch documents
+//	      (13), evaluate, results to S3 (14), query response queue (15)
+//	front end: response (16) -> fetch results (17) -> return (18)
+//
+// The package offers both the live pipeline (StartIndexer /
+// StartQueryProcessor spawn workers that poll the queues, renew message
+// leases, and survive instance crashes through SQS redelivery) and
+// deterministic synchronous drivers (IndexCorpusOn, RunQueryOn) that the
+// experiment harness uses: they issue exactly the same service requests —
+// so metering and billing match the cost model — but schedule work
+// round-robin over the fleet for reproducible modeled times.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/cloud/dynamodb"
+	"repro/internal/cloud/kv"
+	"repro/internal/cloud/s3"
+	"repro/internal/cloud/simpledb"
+	"repro/internal/cloud/sqs"
+	"repro/internal/index"
+	"repro/internal/meter"
+)
+
+// Names of the warehouse's cloud resources.
+const (
+	Bucket        = "warehouse"
+	LoaderQueue   = "loader-requests"
+	QueryQueue    = "query-requests"
+	ResponseQueue = "query-responses"
+	// LoaderDeadLetters parks loading requests that repeatedly failed —
+	// e.g. unparsable documents — so they stop being retried (SQS redrive
+	// policy; see MaxLoadAttempts).
+	LoaderDeadLetters = "loader-dead-letters"
+	resultsPrefix     = "results/"
+	docsPrefix        = "docs/"
+)
+
+// MaxLoadAttempts is how many times a loading request is delivered before
+// it is moved to the dead-letter queue.
+const MaxLoadAttempts = 5
+
+// PerfModel calibrates the modeled CPU throughput of the application code,
+// in bytes per second per ECU (an EC2 Compute Unit is the capacity of a
+// 1.0-1.2 GHz 2007 Xeon, Section 8.1). Values are fitted so that the
+// modeled times at the paper's 40 GB scale land in the ranges of Tables 4
+// and Figure 9.
+type PerfModel struct {
+	// ParseBytesPerECUSec is the XML parsing rate (indexing and querying
+	// both parse fetched documents).
+	ParseBytesPerECUSec float64
+	// ExtractBytesPerECUSec is the rate of producing serialized index
+	// entries, charged on the entry bytes emitted.
+	ExtractBytesPerECUSec float64
+	// EvalBytesPerECUSec is the tree-pattern evaluation rate over parsed
+	// documents.
+	EvalBytesPerECUSec float64
+	// PlanBytesPerECUSec is the rate of the look-up physical plan
+	// (intersections, path filtering, holistic twig joins) over the bytes
+	// fetched from the index.
+	PlanBytesPerECUSec float64
+}
+
+// DefaultPerfModel returns the calibrated model.
+func DefaultPerfModel() PerfModel {
+	const mb = 1 << 20
+	return PerfModel{
+		ParseBytesPerECUSec:   2.4 * mb,
+		ExtractBytesPerECUSec: 1.1 * mb,
+		EvalBytesPerECUSec:    3.2 * mb,
+		PlanBytesPerECUSec:    16 * mb,
+	}
+}
+
+func (m PerfModel) withDefaults() PerfModel {
+	d := DefaultPerfModel()
+	if m.ParseBytesPerECUSec <= 0 {
+		m.ParseBytesPerECUSec = d.ParseBytesPerECUSec
+	}
+	if m.ExtractBytesPerECUSec <= 0 {
+		m.ExtractBytesPerECUSec = d.ExtractBytesPerECUSec
+	}
+	if m.EvalBytesPerECUSec <= 0 {
+		m.EvalBytesPerECUSec = d.EvalBytesPerECUSec
+	}
+	if m.PlanBytesPerECUSec <= 0 {
+		m.PlanBytesPerECUSec = d.PlanBytesPerECUSec
+	}
+	return m
+}
+
+// Config assembles a warehouse.
+type Config struct {
+	// Strategy is the indexing strategy maintained by the warehouse.
+	Strategy index.Strategy
+	// Backend selects the index store: "dynamodb" (default) or
+	// "simpledb".
+	Backend string
+	// Perf overrides the performance model (zero fields take defaults).
+	Perf PerfModel
+	// CompressPaths front-codes LUP/2LUPI path lists in the index store
+	// (the improvement the paper's conclusion suggests).
+	CompressPaths bool
+	// Seed drives the UUID generator.
+	Seed int64
+	// Ledger receives all metering; a fresh one is created when nil.
+	Ledger *meter.Ledger
+}
+
+// Warehouse wires the cloud services of Figure 1 together.
+type Warehouse struct {
+	Strategy index.Strategy
+	Perf     PerfModel
+
+	compressPaths bool
+
+	ledger *meter.Ledger
+	files  *s3.Service
+	store  kv.Store
+	queues *sqs.Service
+	uuids  *index.UUIDGen
+
+	mu       sync.Mutex
+	querySeq int
+}
+
+// New provisions the warehouse's bucket, queues and index tables.
+func New(cfg Config) (*Warehouse, error) {
+	ledger := cfg.Ledger
+	if ledger == nil {
+		ledger = meter.NewLedger()
+	}
+	var store kv.Store
+	switch cfg.Backend {
+	case "", dynamodb.Backend:
+		store = dynamodb.New(ledger)
+	case simpledb.Backend:
+		store = simpledb.New(ledger)
+	default:
+		return nil, fmt.Errorf("core: unknown backend %q", cfg.Backend)
+	}
+	w := &Warehouse{
+		Strategy:      cfg.Strategy,
+		Perf:          cfg.Perf.withDefaults(),
+		compressPaths: cfg.CompressPaths,
+		ledger:        ledger,
+		files:         s3.New(ledger),
+		store:         store,
+		queues:        sqs.New(ledger),
+		uuids:         index.NewUUIDGen(cfg.Seed + 1),
+	}
+	if err := w.files.CreateBucket(Bucket); err != nil {
+		return nil, err
+	}
+	for _, q := range []string{LoaderQueue, QueryQueue, ResponseQueue, LoaderDeadLetters} {
+		if err := w.queues.CreateQueue(q); err != nil {
+			return nil, err
+		}
+	}
+	if err := w.queues.SetRedrivePolicy(LoaderQueue, LoaderDeadLetters, MaxLoadAttempts); err != nil {
+		return nil, err
+	}
+	if err := index.CreateTables(store, cfg.Strategy); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// Ledger exposes the metering ledger (billing, experiment measurements).
+func (w *Warehouse) Ledger() *meter.Ledger { return w.ledger }
+
+// Files exposes the file store.
+func (w *Warehouse) Files() *s3.Service { return w.files }
+
+// Store exposes the index store.
+func (w *Warehouse) Store() kv.Store { return w.store }
+
+// Queues exposes the queue service.
+func (w *Warehouse) Queues() *sqs.Service { return w.queues }
+
+// DataBytes returns the stored document bytes (s(D)).
+func (w *Warehouse) DataBytes() int64 { return w.files.BucketBytes(Bucket) }
+
+// IndexBytes returns the index store footprint: raw user bytes and the
+// store's own overhead (sr(D,I) and ovh(D,I) of Section 7.1).
+func (w *Warehouse) IndexBytes() (raw, overhead int64) {
+	for _, t := range w.Strategy.Tables() {
+		raw += w.store.TableBytes(t)
+		overhead += w.store.OverheadBytes(t)
+	}
+	return raw, overhead
+}
+
+// IndexItems returns the number of items in the index tables (|op(D,I)|
+// under the per-row billing model).
+func (w *Warehouse) IndexItems() int64 {
+	var n int64
+	for _, t := range w.Strategy.Tables() {
+		n += w.store.ItemCount(t)
+	}
+	return n
+}
+
+// indexOptions returns the extraction options for the warehouse's store,
+// honouring the path-compression setting.
+func (w *Warehouse) indexOptions() index.Options {
+	opts := index.OptionsFor(w.store)
+	opts.CompressPaths = w.compressPaths
+	return opts
+}
+
+// DocKey maps a document URI to its S3 object key.
+func DocKey(uri string) string { return docsPrefix + uri }
+
+// DocumentURIs lists the URIs of all stored documents.
+func (w *Warehouse) DocumentURIs() ([]string, error) {
+	keys, _, err := w.files.List(Bucket, docsPrefix)
+	if err != nil {
+		return nil, err
+	}
+	uris := make([]string, len(keys))
+	for i, k := range keys {
+		uris[i] = k[len(docsPrefix):]
+	}
+	return uris, nil
+}
+
+// ErrQueryFailed wraps a processing-side failure reported through the
+// response queue.
+var ErrQueryFailed = errors.New("core: query processing failed")
+
+func (w *Warehouse) nextQueryID() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.querySeq++
+	return fmt.Sprintf("q-%06d", w.querySeq)
+}

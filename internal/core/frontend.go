@@ -1,0 +1,328 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/cloud/ec2"
+	"repro/internal/engine"
+)
+
+// This file implements the front end (steps 1-3, 7-8 and 16-18 of
+// Figure 1) and the live worker loops of the two modules. Workers poll
+// their queue, renew their message lease while working, and delete the
+// message only on success — so a crashed instance's work is redelivered to
+// another worker (the fault-tolerance mechanism of Section 3).
+
+// SubmitDocument stores a document in the file store and enqueues a
+// loading request (steps 1-3).
+func (w *Warehouse) SubmitDocument(uri string, data []byte) error {
+	if _, err := w.files.Put(Bucket, DocKey(uri), data, nil); err != nil {
+		return err
+	}
+	_, _, err := w.queues.Send(LoaderQueue, uri)
+	return err
+}
+
+// SubmitQuery enqueues a query (steps 7-8) and returns its identifier.
+func (w *Warehouse) SubmitQuery(queryText string, useIndex bool) (string, error) {
+	id := w.nextQueryID()
+	msg := queryMessage{ID: id, Query: queryText, Strategy: w.Strategy.Name(), NoIndex: !useIndex}
+	body, err := json.Marshal(msg)
+	if err != nil {
+		return "", err
+	}
+	if _, _, err := w.queues.Send(QueryQueue, string(body)); err != nil {
+		return "", err
+	}
+	return id, nil
+}
+
+// AwaitResult blocks until the response for the given query arrives
+// (steps 16-18) or the timeout elapses. Responses for other queries are
+// released back to the queue.
+func (w *Warehouse) AwaitResult(id string, timeout time.Duration) (*QueryOutcome, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return nil, fmt.Errorf("core: timed out waiting for result of %s", id)
+		}
+		m, _, err := w.queues.ReceiveWait(ResponseQueue, 30*time.Second, remaining)
+		if err != nil {
+			return nil, err
+		}
+		if m == nil {
+			continue
+		}
+		var resp responseMessage
+		if err := json.Unmarshal([]byte(m.Body), &resp); err != nil {
+			return nil, err
+		}
+		if resp.ID != id {
+			// Not ours: put it back with a short lease. Releasing it
+			// outright would make the oldest-first receive hand us the
+			// same message again before any newer response.
+			if _, err := w.queues.ChangeVisibility(ResponseQueue, m.Receipt, 100*time.Millisecond); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if _, err := w.queues.Delete(ResponseQueue, m.Receipt); err != nil {
+			return nil, err
+		}
+		if resp.Error != "" {
+			return &QueryOutcome{ID: id, Err: fmt.Errorf("%w: %s", ErrQueryFailed, resp.Error)}, nil
+		}
+		obj, _, err := w.files.Get(Bucket, resp.ResultKey)
+		if err != nil {
+			return nil, err
+		}
+		w.ledger.AddEgress(int64(len(obj.Data)))
+		result, err := decodeResult(obj.Data)
+		if err != nil {
+			return nil, err
+		}
+		return &QueryOutcome{ID: id, Result: result}, nil
+	}
+}
+
+// QueryOutcome is what the front end hands back to the user.
+type QueryOutcome struct {
+	ID     string
+	Result *engine.Result
+	Err    error
+}
+
+// Worker is a live module worker bound to one virtual instance.
+type Worker struct {
+	Instance *ec2.Instance
+
+	stop    chan struct{}
+	crashed chan struct{}
+	done    sync.WaitGroup
+
+	mu        sync.Mutex
+	processed int
+	failures  int
+}
+
+// Processed reports how many messages the worker completed.
+func (wk *Worker) Processed() int {
+	wk.mu.Lock()
+	defer wk.mu.Unlock()
+	return wk.processed
+}
+
+// Failures reports how many messages the worker failed on.
+func (wk *Worker) Failures() int {
+	wk.mu.Lock()
+	defer wk.mu.Unlock()
+	return wk.failures
+}
+
+// Stop drains the worker gracefully: it finishes (and acknowledges) its
+// current message, then exits.
+func (wk *Worker) Stop() {
+	select {
+	case <-wk.stop:
+	default:
+		close(wk.stop)
+	}
+	wk.done.Wait()
+}
+
+// Crash kills the worker abruptly: its current message is neither finished
+// nor deleted, so the lease will expire and another worker takes over.
+func (wk *Worker) Crash() {
+	select {
+	case <-wk.crashed:
+	default:
+		close(wk.crashed)
+	}
+	wk.done.Wait()
+}
+
+func newWorker(in *ec2.Instance) *Worker {
+	return &Worker{Instance: in, stop: make(chan struct{}), crashed: make(chan struct{})}
+}
+
+func (wk *Worker) stopped() bool {
+	select {
+	case <-wk.stop:
+		return true
+	case <-wk.crashed:
+		return true
+	default:
+		return false
+	}
+}
+
+// WorkerOptions tunes the live loops.
+type WorkerOptions struct {
+	// Visibility is the message lease duration; it is renewed at
+	// Visibility/2 while processing. Default 2s (tests use shorter).
+	Visibility time.Duration
+	// Poll is the long-poll duration of an idle worker. Default 100ms.
+	Poll time.Duration
+	// WorkDelay artificially stretches real processing time (tests use it
+	// to exercise lease expiry and crashes mid-flight).
+	WorkDelay time.Duration
+}
+
+func (o WorkerOptions) withDefaults() WorkerOptions {
+	if o.Visibility <= 0 {
+		o.Visibility = 2 * time.Second
+	}
+	if o.Poll <= 0 {
+		o.Poll = 100 * time.Millisecond
+	}
+	return o
+}
+
+// StartIndexer launches the indexing module on an instance (steps 4-6).
+func (w *Warehouse) StartIndexer(in *ec2.Instance, opts WorkerOptions) *Worker {
+	opts = opts.withDefaults()
+	wk := newWorker(in)
+	wk.done.Add(1)
+	go func() {
+		defer wk.done.Done()
+		w.store.RegisterClient()
+		defer w.store.UnregisterClient()
+		for !wk.stopped() {
+			msg, rtt, err := w.queues.ReceiveWait(LoaderQueue, opts.Visibility, opts.Poll)
+			if err != nil || msg == nil {
+				continue
+			}
+			stopRenew := w.renewLease(wk, LoaderQueue, msg.Receipt, opts.Visibility)
+			if opts.WorkDelay > 0 {
+				time.Sleep(opts.WorkDelay)
+			}
+			if wk.crashedNow() {
+				stopRenew()
+				return
+			}
+			res, err := w.indexDocument(in, msg.Body)
+			stopRenew()
+			if wk.crashedNow() {
+				return
+			}
+			if err != nil {
+				wk.mu.Lock()
+				wk.failures++
+				wk.mu.Unlock()
+				continue // lease will expire; the message is retried
+			}
+			if _, err := w.queues.Delete(LoaderQueue, msg.Receipt); err != nil {
+				// Lease lost: another worker owns the message now; our
+				// index writes are idempotent at the entry level.
+				continue
+			}
+			in.Run(rtt + res.ExtractTime + res.UploadTime)
+			wk.mu.Lock()
+			wk.processed++
+			wk.mu.Unlock()
+		}
+	}()
+	return wk
+}
+
+// StartQueryProcessor launches the query-processor module on an instance
+// (steps 9-15).
+func (w *Warehouse) StartQueryProcessor(in *ec2.Instance, opts WorkerOptions) *Worker {
+	opts = opts.withDefaults()
+	wk := newWorker(in)
+	wk.done.Add(1)
+	go func() {
+		defer wk.done.Done()
+		for !wk.stopped() {
+			msg, _, err := w.queues.ReceiveWait(QueryQueue, opts.Visibility, opts.Poll)
+			if err != nil || msg == nil {
+				continue
+			}
+			stopRenew := w.renewLease(wk, QueryQueue, msg.Receipt, opts.Visibility)
+			if opts.WorkDelay > 0 {
+				time.Sleep(opts.WorkDelay)
+			}
+			if wk.crashedNow() {
+				stopRenew()
+				return
+			}
+			var qm queryMessage
+			var resp responseMessage
+			if err := json.Unmarshal([]byte(msg.Body), &qm); err != nil {
+				resp = responseMessage{Error: err.Error()}
+			} else {
+				resp.ID = qm.ID
+				if _, _, err := w.processQuery(in, qm); err != nil {
+					resp.Error = err.Error()
+				} else {
+					resp.ResultKey = resultsPrefix + qm.ID
+				}
+			}
+			stopRenew()
+			if wk.crashedNow() {
+				return
+			}
+			body, _ := json.Marshal(resp)
+			if _, _, err := w.queues.Send(ResponseQueue, string(body)); err != nil {
+				continue
+			}
+			if _, err := w.queues.Delete(QueryQueue, msg.Receipt); err != nil {
+				continue
+			}
+			wk.mu.Lock()
+			if resp.Error != "" {
+				wk.failures++
+			} else {
+				wk.processed++
+			}
+			wk.mu.Unlock()
+		}
+	}()
+	return wk
+}
+
+func (wk *Worker) crashedNow() bool {
+	select {
+	case <-wk.crashed:
+		return true
+	default:
+		return false
+	}
+}
+
+// renewLease keeps a message invisible while the worker processes it,
+// renewing at half the visibility period. The returned function stops the
+// renewal loop.
+func (w *Warehouse) renewLease(wk *Worker, queue, receipt string, visibility time.Duration) func() {
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		t := time.NewTicker(visibility / 2)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-wk.crashed:
+				return // a crashed instance stops renewing: the lease expires
+			case <-t.C:
+				if _, err := w.queues.ChangeVisibility(queue, receipt, visibility); err != nil {
+					return
+				}
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(stop)
+			wg.Wait()
+		})
+	}
+}

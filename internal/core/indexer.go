@@ -1,0 +1,172 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cloud/ec2"
+	"repro/internal/index"
+	"repro/internal/xmltree"
+)
+
+// This file implements the indexing module (steps 4-6 of Figure 1): fetch a
+// document referenced by a loader-queue message from the file store,
+// extract its index entries under the warehouse strategy, and insert them
+// into the index store.
+
+// IndexTaskResult reports one document's indexing, with the modeled time
+// split the way Table 4 reports it.
+type IndexTaskResult struct {
+	URI         string
+	DocBytes    int64
+	ExtractTime time.Duration // EC2-side: fetch, parse, build entries
+	UploadTime  time.Duration // store-side: batch put latency
+	Stats       index.LoadStats
+}
+
+// indexDocument performs the work of one loader message on one instance
+// core. The returned durations are modeled; the caller schedules them.
+func (w *Warehouse) indexDocument(in *ec2.Instance, uri string) (IndexTaskResult, error) {
+	res := IndexTaskResult{URI: uri}
+	obj, fetch, err := w.files.Get(Bucket, DocKey(uri))
+	if err != nil {
+		return res, fmt.Errorf("core: fetching %s: %w", uri, err)
+	}
+	res.DocBytes = int64(len(obj.Data))
+	doc, err := xmltree.Parse(uri, obj.Data)
+	if err != nil {
+		return res, err
+	}
+	ex := index.Extract(w.Strategy, doc, w.indexOptions())
+	res.ExtractTime = fetch +
+		in.ComputeDuration(res.DocBytes, w.Perf.ParseBytesPerECUSec) +
+		in.ComputeDuration(ex.Bytes, w.Perf.ExtractBytesPerECUSec)
+	upload, stats, err := index.WriteExtraction(w.store, ex, w.uuids)
+	if err != nil {
+		return res, err
+	}
+	res.UploadTime = upload
+	res.Stats = stats
+	return res, nil
+}
+
+// IndexReport aggregates an indexing run, with everything Table 4, Table 6
+// and Figure 7 need.
+type IndexReport struct {
+	Docs      int
+	DataBytes int64
+	Entries   int
+	Items     int // |op(D,I)| under per-row billing
+	Requests  int // batch API calls
+
+	// AvgExtract and AvgUpload are the average per-machine elapsed times
+	// attributable to extraction and uploading (Table 4's two columns);
+	// Total is the modeled end-to-end indexing time tidx(D,I).
+	AvgExtract time.Duration
+	AvgUpload  time.Duration
+	Total      time.Duration
+}
+
+// IndexCorpusOn drives the indexing of the given documents over a fleet,
+// deterministically: documents are queued as loader messages, then
+// processed in FIFO order with tasks assigned round-robin to instances and
+// scheduled on each instance's least-loaded core. The store's capacity is
+// shared by all fleet worker threads for the duration of the run (the
+// DynamoDB saturation of Section 8.2).
+func (w *Warehouse) IndexCorpusOn(fleet []*ec2.Instance, uris []string) (IndexReport, error) {
+	var report IndexReport
+	if len(fleet) == 0 {
+		return report, fmt.Errorf("core: empty fleet")
+	}
+	workers := 0
+	for _, in := range fleet {
+		workers += in.Type.Cores
+	}
+	for i := 0; i < workers; i++ {
+		w.store.RegisterClient()
+	}
+	defer func() {
+		for i := 0; i < workers; i++ {
+			w.store.UnregisterClient()
+		}
+	}()
+
+	for _, uri := range uris {
+		if _, _, err := w.queues.Send(LoaderQueue, uri); err != nil {
+			return report, err
+		}
+	}
+	ec2.FleetLevel(fleet)
+	start := ec2.FleetElapsed(fleet)
+
+	perExtract := make(map[*ec2.Instance]time.Duration)
+	perUpload := make(map[*ec2.Instance]time.Duration)
+	for i := 0; ; i++ {
+		msg, rtt, err := w.queues.Receive(LoaderQueue, 5*time.Minute)
+		if err != nil {
+			return report, err
+		}
+		if msg == nil {
+			break
+		}
+		in := fleet[i%len(fleet)]
+		res, err := w.indexDocument(in, msg.Body)
+		if err != nil {
+			return report, fmt.Errorf("core: indexing %s: %w", msg.Body, err)
+		}
+		drtt, err := w.deleteLoaderMessage(msg.Receipt)
+		if err != nil {
+			return report, err
+		}
+		in.Run(rtt + res.ExtractTime + res.UploadTime + drtt)
+		report.Docs++
+		report.DataBytes += res.DocBytes
+		report.Entries += res.Stats.Entries
+		report.Items += res.Stats.Items
+		report.Requests += res.Stats.Requests
+		perExtract[in] += res.ExtractTime
+		perUpload[in] += res.UploadTime
+	}
+	ec2.FleetLevel(fleet)
+	report.Total = ec2.FleetElapsed(fleet) - start
+	// Per-machine elapsed attribution: a machine's cores work in parallel,
+	// so its extraction (upload) elapsed is the summed task time divided
+	// by its core count; the report averages over machines.
+	for _, in := range fleet {
+		report.AvgExtract += perExtract[in] / time.Duration(in.Type.Cores)
+		report.AvgUpload += perUpload[in] / time.Duration(in.Type.Cores)
+	}
+	report.AvgExtract /= time.Duration(len(fleet))
+	report.AvgUpload /= time.Duration(len(fleet))
+	return report, nil
+}
+
+func (w *Warehouse) deleteLoaderMessage(receipt string) (time.Duration, error) {
+	return w.queues.Delete(LoaderQueue, receipt)
+}
+
+// RemoveDocument drops a document from the warehouse: its index entries
+// first (while the file is still readable), then the file itself. This is
+// an extension beyond the paper's append-only warehouse; the modeled work
+// is scheduled on the given instance.
+func (w *Warehouse) RemoveDocument(in *ec2.Instance, uri string) error {
+	obj, fetch, err := w.files.Get(Bucket, DocKey(uri))
+	if err != nil {
+		return fmt.Errorf("core: removing %s: %w", uri, err)
+	}
+	doc, err := xmltree.Parse(uri, obj.Data)
+	if err != nil {
+		return err
+	}
+	parse := in.ComputeDuration(int64(len(obj.Data)), w.Perf.ParseBytesPerECUSec)
+	dels, _, err := index.DeleteDocument(w.store, w.Strategy, doc, w.indexOptions())
+	if err != nil {
+		return err
+	}
+	drop, err := w.files.Delete(Bucket, DocKey(uri))
+	if err != nil {
+		return err
+	}
+	in.Run(fetch + parse + dels + drop)
+	return nil
+}

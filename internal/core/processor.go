@@ -1,0 +1,276 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/cloud/ec2"
+	"repro/internal/engine"
+	"repro/internal/index"
+	"repro/internal/pattern"
+	"repro/internal/xmltree"
+	"repro/internal/xquery"
+)
+
+// This file implements the query processor module (steps 9-15 of Figure 1):
+// retrieve a query message, look up the index, fetch the candidate
+// documents from the file store, evaluate the query with the local engine,
+// write the results to the file store and post a response message.
+
+// queryMessage is the payload of the query request queue.
+type queryMessage struct {
+	ID       string `json:"id"`
+	Query    string `json:"query"`
+	Strategy string `json:"strategy"`
+	NoIndex  bool   `json:"noIndex,omitempty"`
+}
+
+// responseMessage is the payload of the query response queue.
+type responseMessage struct {
+	ID        string `json:"id"`
+	ResultKey string `json:"resultKey,omitempty"`
+	Error     string `json:"error,omitempty"`
+}
+
+// QueryStats decomposes one query's processing the way Figures 9b/9c do,
+// plus the counts Table 5 and the cost model need.
+type QueryStats struct {
+	ID       string
+	Strategy string // "none" for the no-index baseline
+
+	// LookupGetTime is the index-store latency ("DynamoDB get");
+	// PlanTime the local physical plan over the fetched index data
+	// ("plan execution"); FetchEvalTime the summed S3 transfer + local
+	// evaluation over candidate documents ("S3 documents transfer and
+	// results extraction"). Per-document work runs on all cores, so
+	// ResponseTime — the modeled elapsed time from message retrieval to
+	// message deletion — is less than the sum of the components.
+	LookupGetTime time.Duration
+	PlanTime      time.Duration
+	FetchEvalTime time.Duration
+	ResponseTime  time.Duration
+
+	// GetOps is |op(q,D,I)|; DocIDsFromIndex the per-pattern sum of URIs
+	// returned by the look-up (Table 5's "Doc. IDs from index");
+	// DocsFetched the distinct documents transferred from S3.
+	GetOps          int64
+	DocIDsFromIndex int
+	DocsFetched     int
+
+	ResultRows  int
+	ResultBytes int64
+}
+
+// processQuery executes one query message on one instance and returns the
+// result rows plus statistics. It performs the exact service calls of
+// Figure 1's steps 10-14; the modeled time is scheduled on the instance.
+func (w *Warehouse) processQuery(in *ec2.Instance, msg queryMessage) (*engine.Result, QueryStats, error) {
+	stats := QueryStats{ID: msg.ID, Strategy: msg.Strategy}
+	if msg.NoIndex {
+		stats.Strategy = "none"
+	}
+	q, err := ParseQueryText(msg.Query)
+	if err != nil {
+		return nil, stats, err
+	}
+
+	in.TL.Level()
+	t0 := in.TL.Elapsed()
+
+	// Steps 10-12: index look-up and local plan, on the coordinating core.
+	var perPattern [][]string
+	if msg.NoIndex {
+		uris, err := w.DocumentURIs()
+		if err != nil {
+			return nil, stats, err
+		}
+		perPattern = make([][]string, len(q.Patterns))
+		for i := range perPattern {
+			perPattern[i] = uris
+		}
+	} else {
+		sets, lst, err := index.LookupQuery(w.store, w.Strategy, q)
+		if err != nil {
+			return nil, stats, err
+		}
+		perPattern = sets
+		stats.GetOps = lst.GetOps
+		stats.LookupGetTime = lst.GetTime
+		stats.PlanTime = in.ComputeDuration(lst.BytesFetched, w.Perf.PlanBytesPerECUSec)
+		in.RunOn(0, lst.GetTime+stats.PlanTime)
+	}
+	for _, uris := range perPattern {
+		stats.DocIDsFromIndex += len(uris)
+	}
+
+	// Step 13: fetch the union of candidate documents and evaluate. Each
+	// document is one task, scheduled on the least-loaded core — the
+	// intra-machine parallelism the paper gets from multi-threading.
+	union := make(map[string]bool)
+	for _, uris := range perPattern {
+		for _, u := range uris {
+			union[u] = true
+		}
+	}
+	uris := make([]string, 0, len(union))
+	for u := range union {
+		uris = append(uris, u)
+	}
+	sort.Strings(uris)
+	stats.DocsFetched = len(uris)
+
+	docs := make(map[string]*xmltree.Document, len(uris))
+	for _, uri := range uris {
+		obj, fetch, err := w.files.Get(Bucket, DocKey(uri))
+		if err != nil {
+			return nil, stats, err
+		}
+		doc, err := xmltree.Parse(uri, obj.Data)
+		if err != nil {
+			return nil, stats, err
+		}
+		docs[uri] = doc
+		task := fetch +
+			in.ComputeDuration(int64(len(obj.Data)), w.Perf.ParseBytesPerECUSec) +
+			in.ComputeDuration(int64(len(obj.Data)), w.Perf.EvalBytesPerECUSec)
+		stats.FetchEvalTime += task
+		in.Run(task)
+	}
+	docSets := make([][]*xmltree.Document, len(perPattern))
+	for i, us := range perPattern {
+		for _, u := range us {
+			docSets[i] = append(docSets[i], docs[u])
+		}
+	}
+	result, err := engine.EvalQueryOnDocSets(q, docSets)
+	if err != nil {
+		return nil, stats, err
+	}
+	stats.ResultRows = len(result.Rows)
+	stats.ResultBytes = result.Bytes()
+
+	// Step 14: write the results to the file store.
+	key := resultsPrefix + msg.ID
+	putDur, err := w.files.Put(Bucket, key, encodeResult(result), nil)
+	if err != nil {
+		return nil, stats, err
+	}
+	in.RunOn(0, putDur)
+
+	in.TL.Level()
+	stats.ResponseTime = in.TL.Elapsed() - t0
+	return result, stats, nil
+}
+
+// ParseQueryText compiles a query in either supported surface syntax: the
+// tree-pattern notation of package pattern, or the XQuery fragment of
+// package xquery (Section 4's concrete syntax). Texts whose first token is
+// the FLWR keyword `for` followed by a variable are treated as XQuery;
+// everything else as a pattern. (A tree pattern rooted at an element
+// literally named "for" and carrying a variable would be misdetected;
+// parenthesize nothing — just rename such an element or call
+// pattern.Parse directly.)
+func ParseQueryText(text string) (*pattern.Query, error) {
+	trimmed := strings.TrimSpace(text)
+	if strings.HasPrefix(trimmed, "for ") || strings.HasPrefix(trimmed, "for$") {
+		rest := strings.TrimSpace(trimmed[3:])
+		if strings.HasPrefix(rest, "$") {
+			return xquery.Parse(text)
+		}
+	}
+	return pattern.Parse(text)
+}
+
+// encodeResult serializes a result for the file store (step 14); the front
+// end decodes it at step 17.
+func encodeResult(r *engine.Result) []byte {
+	b, err := json.Marshal(r)
+	if err != nil {
+		// Result values are plain strings; marshaling cannot fail.
+		panic(err)
+	}
+	return b
+}
+
+func decodeResult(data []byte) (*engine.Result, error) {
+	var r engine.Result
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("core: decoding result: %w", err)
+	}
+	return &r, nil
+}
+
+// RunQueryOn executes one query synchronously on one instance, issuing the
+// very same queue/store requests as the live pipeline: the front end sends
+// the query message (step 8), the processor receives it (9), processes it
+// (10-14), posts the response (15) and deletes the query message; the front
+// end then receives the response (16), fetches the results (17), returns
+// them (18) and deletes the response message. useIndex=false is the
+// "no index" baseline of Section 8.
+func (w *Warehouse) RunQueryOn(in *ec2.Instance, queryText string, useIndex bool) (*engine.Result, QueryStats, error) {
+	id := w.nextQueryID()
+	msg := queryMessage{ID: id, Query: queryText, Strategy: w.Strategy.Name(), NoIndex: !useIndex}
+	body, _ := json.Marshal(msg)
+	if _, _, err := w.queues.Send(QueryQueue, string(body)); err != nil {
+		return nil, QueryStats{}, err
+	}
+	got, rtt, err := w.queues.Receive(QueryQueue, 10*time.Minute)
+	if err != nil {
+		return nil, QueryStats{}, err
+	}
+	if got == nil {
+		return nil, QueryStats{}, fmt.Errorf("core: query message vanished")
+	}
+	in.RunOn(0, rtt)
+	var parsed queryMessage
+	if err := json.Unmarshal([]byte(got.Body), &parsed); err != nil {
+		return nil, QueryStats{}, err
+	}
+
+	_, stats, perr := w.processQuery(in, parsed)
+	resp := responseMessage{ID: parsed.ID}
+	if perr != nil {
+		resp.Error = perr.Error()
+	} else {
+		resp.ResultKey = resultsPrefix + parsed.ID
+	}
+	rbody, _ := json.Marshal(resp)
+	if _, _, err := w.queues.Send(ResponseQueue, string(rbody)); err != nil {
+		return nil, stats, err
+	}
+	if _, err := w.queues.Delete(QueryQueue, got.Receipt); err != nil {
+		return nil, stats, err
+	}
+	if perr != nil {
+		return nil, stats, fmt.Errorf("%w: %v", ErrQueryFailed, perr)
+	}
+
+	// Front-end side (steps 16-18).
+	rm, _, err := w.queues.Receive(ResponseQueue, time.Minute)
+	if err != nil {
+		return nil, stats, err
+	}
+	if rm == nil {
+		return nil, stats, fmt.Errorf("core: response message missing")
+	}
+	var response responseMessage
+	if err := json.Unmarshal([]byte(rm.Body), &response); err != nil {
+		return nil, stats, err
+	}
+	obj, _, err := w.files.Get(Bucket, response.ResultKey)
+	if err != nil {
+		return nil, stats, err
+	}
+	w.ledger.AddEgress(int64(len(obj.Data)))
+	if _, err := w.queues.Delete(ResponseQueue, rm.Receipt); err != nil {
+		return nil, stats, err
+	}
+	final, err := decodeResult(obj.Data)
+	if err != nil {
+		return nil, stats, err
+	}
+	return final, stats, nil
+}

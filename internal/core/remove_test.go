@@ -1,0 +1,56 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/cloud/ec2"
+	"repro/internal/cloud/s3"
+	"repro/internal/index"
+)
+
+func TestRemoveDocument(t *testing.T) {
+	w := newWarehouse(t, index.TwoLUPI)
+	fleet := ec2.LaunchFleet(w.ledger, ec2.Large, 1)
+	loadPaintings(t, w, fleet)
+	in := ec2.Launch(w.ledger, ec2.Large)
+
+	before, _, err := w.RunQueryOn(in, `//painting[/name{val}~"Lion"]`, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(before.Rows) != 2 {
+		t.Fatalf("rows before = %d", len(before.Rows))
+	}
+	itemsBefore := w.IndexItems()
+
+	if err := w.RemoveDocument(in, "delacroix.xml"); err != nil {
+		t.Fatal(err)
+	}
+	if w.IndexItems() >= itemsBefore {
+		t.Error("index did not shrink")
+	}
+	after, _, err := w.RunQueryOn(in, `//painting[/name{val}~"Lion"]`, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after.Rows) != 1 || after.Rows[0].URI != "painting-1861-1.xml" {
+		t.Errorf("rows after = %v", after.Rows)
+	}
+	// The file itself is gone.
+	if _, _, err := w.files.Get(Bucket, DocKey("delacroix.xml")); !errors.Is(err, s3.ErrNoSuchKey) {
+		t.Errorf("file still present: %v", err)
+	}
+	// The no-index path must also work after removal (it lists the bucket).
+	noIdx, _, err := w.RunQueryOn(in, `//painting[/name{val}~"Lion"]`, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(noIdx.Rows) != 1 {
+		t.Errorf("no-index rows after = %v", noIdx.Rows)
+	}
+	// Removing a missing document fails cleanly.
+	if err := w.RemoveDocument(in, "delacroix.xml"); err == nil {
+		t.Error("double removal succeeded")
+	}
+}

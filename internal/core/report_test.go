@@ -1,0 +1,71 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/cloud/ec2"
+	"repro/internal/index"
+	"repro/internal/pricing"
+)
+
+// The indexing report's internal accounting must be consistent with the
+// fleet timelines and the metering ledger.
+func TestIndexReportAccounting(t *testing.T) {
+	w := newWarehouse(t, index.LUP)
+	fleet := ec2.LaunchFleet(w.ledger, ec2.Large, 4)
+	rep := loadPaintings(t, w, fleet)
+
+	// Per-machine attribution can never exceed the end-to-end time.
+	if rep.AvgExtract > rep.Total || rep.AvgUpload > rep.Total {
+		t.Errorf("attribution exceeds total: extract=%v upload=%v total=%v",
+			rep.AvgExtract, rep.AvgUpload, rep.Total)
+	}
+	if rep.AvgUpload <= 0 || rep.AvgExtract <= 0 {
+		t.Errorf("zero attribution: %+v", rep)
+	}
+	// Batch requests can never exceed item count, and batching must help.
+	if rep.Requests > rep.Items {
+		t.Errorf("requests %d > items %d", rep.Requests, rep.Items)
+	}
+	// The fleet's billed seconds cover the elapsed time of each machine.
+	secs := w.ledger.Snapshot().InstanceSeconds("l")
+	if secs < rep.Total.Seconds() {
+		t.Errorf("billed %.3fs < elapsed %.3fs", secs, rep.Total.Seconds())
+	}
+	// The data the report saw matches the file store gauge.
+	if rep.DataBytes != w.DataBytes() {
+		t.Errorf("report bytes %d != stored %d", rep.DataBytes, w.DataBytes())
+	}
+	// And the billed put units match the report's items.
+	units := w.ledger.Snapshot().Get("dynamodb", "put").Units
+	if units != int64(rep.Items) {
+		t.Errorf("billed units %d != report items %d", units, rep.Items)
+	}
+}
+
+// Sanity on the whole money path: bill(ledger) of an indexing run is
+// strictly positive in every expected line and zero elsewhere.
+func TestIndexingInvoiceLines(t *testing.T) {
+	w := newWarehouse(t, index.LU)
+	fleet := ec2.LaunchFleet(w.ledger, ec2.Large, 2)
+	loadPaintings(t, w, fleet)
+	inv := pricing.Singapore2012().Bill(w.ledger.Snapshot())
+	for _, svc := range []string{"dynamodb", "ec2", "s3", "sqs"} {
+		if inv.Line(svc) <= 0 {
+			t.Errorf("no %s cost billed: %v", svc, inv)
+		}
+	}
+	if inv.Line("egress") != 0 {
+		t.Errorf("indexing produced egress: %v", inv)
+	}
+	if inv.Line("simpledb") != 0 {
+		t.Errorf("wrong backend billed: %v", inv)
+	}
+}
+
+func TestEmptyFleetRejected(t *testing.T) {
+	w := newWarehouse(t, index.LU)
+	if _, err := w.IndexCorpusOn(nil, []string{"x"}); err == nil {
+		t.Error("empty fleet accepted")
+	}
+}

@@ -1,0 +1,37 @@
+package costmodel_test
+
+import (
+	"fmt"
+
+	"repro/internal/costmodel"
+	"repro/internal/pricing"
+)
+
+// Reproducing the paper's headline arithmetic: on the Table 3 prices, an
+// indexed query over a few hundred documents costs a small fraction of
+// scanning the whole 20,000-document warehouse.
+func ExampleQueryCostIndexed() {
+	book := pricing.Singapore2012()
+	indexed := costmodel.QueryCostIndexed(book, costmodel.QueryMetrics{
+		IndexGetOps:     12,
+		DocsRetrieved:   349,
+		ProcessingHours: 0.01,
+		VMType:          "xl",
+	})
+	noIndex := costmodel.QueryCostNoIndex(book, costmodel.QueryMetrics{
+		DocsRetrieved:   20000,
+		ProcessingHours: 0.6,
+		VMType:          "xl",
+	})
+	fmt.Printf("indexed %s, no index %s, saving %.0f%%\n",
+		indexed, noIndex, 100*(1-float64(indexed/noIndex)))
+	// Output: indexed $0.00720, no index $0.43002, saving 98%
+}
+
+func ExampleBreakEvenRuns() {
+	// Figure 13: with a $26.64 build cost (Table 6, LU) and a ~$6.5
+	// per-run benefit, the LU index pays for itself after a handful of
+	// workload runs.
+	fmt.Println(costmodel.BreakEvenRuns(26.64, 6.55))
+	// Output: 5
+}

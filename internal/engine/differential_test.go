@@ -1,0 +1,194 @@
+package engine
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/pattern"
+	"repro/internal/xmark"
+	"repro/internal/xmltree"
+)
+
+// This file checks the engine against an independently written brute-force
+// evaluator: it enumerates *all* embeddings by explicit recursion over
+// (pattern node, document node) pairs with none of the engine's plan
+// machinery, then projects and deduplicates. Any divergence on the
+// generated corpus fails the test.
+
+// bruteRows evaluates one pattern on one document the slow, obvious way.
+func bruteRows(t *pattern.Tree, doc *xmltree.Document) [][]string {
+	var outs []*pattern.Node
+	t.Walk(func(n *pattern.Node) {
+		if n.Val || n.Cont {
+			outs = append(outs, n)
+		}
+	})
+	colOf := map[*pattern.Node][]int{}
+	nCols := 0
+	for _, n := range outs {
+		if n.Val {
+			colOf[n] = append(colOf[n], nCols)
+			nCols++
+		}
+		if n.Cont {
+			colOf[n] = append(colOf[n], nCols)
+			nCols++
+		}
+	}
+
+	var rows [][]string
+	binding := map[*pattern.Node]*xmltree.Node{}
+
+	matchesHere := func(q *pattern.Node, n *xmltree.Node) bool {
+		if q.Label != n.Label || q.IsAttr != (n.Kind == xmltree.Attribute) {
+			return false
+		}
+		return q.Pred.Matches(n.Value())
+	}
+	var candidates func(q *pattern.Node, under *xmltree.Node) []*xmltree.Node
+	candidates = func(q *pattern.Node, under *xmltree.Node) []*xmltree.Node {
+		var out []*xmltree.Node
+		var walk func(m *xmltree.Node, depth int)
+		walk = func(m *xmltree.Node, depth int) {
+			for _, c := range m.Children {
+				if (q.Axis == pattern.Child && depth == 0) || q.Axis == pattern.Descendant {
+					if matchesHere(q, c) {
+						out = append(out, c)
+					}
+				}
+				if q.Axis == pattern.Descendant && c.Kind == xmltree.Element {
+					walk(c, depth+1)
+				}
+			}
+		}
+		walk(under, 0)
+		return out
+	}
+
+	var enumerate func(nodes []*pattern.Node)
+	var expand func(q *pattern.Node, rest []*pattern.Node)
+	enumerate = func(nodes []*pattern.Node) {
+		if len(nodes) == 0 {
+			row := make([]string, nCols)
+			for q, n := range binding {
+				idx := 0
+				if q.Val {
+					row[colOf[q][idx]] = n.Value()
+					idx++
+				}
+				if q.Cont {
+					row[colOf[q][idx]] = n.Content()
+				}
+			}
+			rows = append(rows, row)
+			return
+		}
+		expand(nodes[0], nodes[1:])
+	}
+	expand = func(q *pattern.Node, rest []*pattern.Node) {
+		var cands []*xmltree.Node
+		if q.Parent == nil {
+			for _, n := range doc.Nodes() {
+				if q.Axis == pattern.Child && n.Parent != nil {
+					continue
+				}
+				if matchesHere(q, n) {
+					cands = append(cands, n)
+				}
+			}
+		} else {
+			cands = candidates(q, binding[q.Parent])
+		}
+		for _, c := range cands {
+			binding[q] = c
+			enumerate(append(append([]*pattern.Node{}, rest...), q.Children...))
+			delete(binding, q)
+		}
+	}
+	enumerate([]*pattern.Node{t.Root})
+
+	seen := map[string]bool{}
+	var dedup [][]string
+	for _, r := range rows {
+		k := strings.Join(r, "\x00")
+		if !seen[k] {
+			seen[k] = true
+			dedup = append(dedup, r)
+		}
+	}
+	return dedup
+}
+
+func canon(rows [][]string) string {
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		out[i] = strings.Join(r, "\x1f")
+	}
+	sort.Strings(out)
+	return strings.Join(out, "\n")
+}
+
+func TestEngineAgreesWithBruteForce(t *testing.T) {
+	queries := []string{
+		`//item[/location{val}, //name{val}]`,
+		`//item[/location="Zanzibar", /payment{val}]`,
+		`//person[/name{val}, /profile[/education{val}~"Graduate"]]`,
+		`//open_auction[/bidder[/increase{val}], /type{val}]`,
+		`//closed_auction[/price{val} in ("1000","2000")]`,
+		`//mail[/from{val}, /to{val}]`,
+		`//site[//incategory]`,
+		`//annotation[/description{cont}]`,
+		`//person[/@id{val}, /address[/city{val}]]`,
+		`//listitem[/text{val}~"Featured"]`,
+	}
+	cfg := xmark.DefaultConfig(60)
+	cfg.TargetDocBytes = 3 << 10
+	for i := 0; i < cfg.Docs; i++ {
+		gd := xmark.GenerateDoc(cfg, i)
+		doc, err := xmltree.Parse(gd.URI, gd.Data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, qs := range queries {
+			tr := pattern.MustParse(qs).Patterns[0]
+			want := bruteRows(tr, doc)
+			gotRows := EvalPatternOnDoc(tr, doc)
+			got := make([][]string, len(gotRows))
+			for j, r := range gotRows {
+				got[j] = r.Cols
+			}
+			if canon(got) != canon(want) {
+				t.Fatalf("doc %d query %s:\nengine (%d rows):\n%s\nbrute (%d rows):\n%s",
+					i, qs, len(got), canon(got), len(want), canon(want))
+			}
+		}
+	}
+}
+
+func TestEngineAgreesWithBruteForceOnPaintings(t *testing.T) {
+	queries := []string{
+		`//painting[/name{val}, //painter[/name{val}]]`,
+		`//painting[/description{cont}, /year="1854"]`,
+		`//painting[/name{val}~"Lion"]`,
+		`//museum[/name{val}, //painting[/@id{val}]]`,
+	}
+	for _, gd := range xmark.Paintings() {
+		doc, err := xmltree.Parse(gd.URI, gd.Data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, qs := range queries {
+			tr := pattern.MustParse(qs).Patterns[0]
+			want := bruteRows(tr, doc)
+			gotRows := EvalPatternOnDoc(tr, doc)
+			got := make([][]string, len(gotRows))
+			for j, r := range gotRows {
+				got[j] = r.Cols
+			}
+			if canon(got) != canon(want) {
+				t.Fatalf("%s query %s:\nengine:\n%s\nbrute:\n%s", gd.URI, qs, canon(got), canon(want))
+			}
+		}
+	}
+}

@@ -1,0 +1,334 @@
+package engine
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/pattern"
+	"repro/internal/twigjoin"
+	"repro/internal/xmark"
+	"repro/internal/xmltree"
+)
+
+func parseCorpus(t *testing.T, docs []xmark.Doc) []*xmltree.Document {
+	t.Helper()
+	out := make([]*xmltree.Document, len(docs))
+	for i, d := range docs {
+		var err error
+		out[i], err = xmltree.Parse(d.URI, d.Data)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return out
+}
+
+func paintings(t *testing.T) []*xmltree.Document {
+	return parseCorpus(t, xmark.Paintings())
+}
+
+func sortedRows(res *Result) []string {
+	var out []string
+	for _, r := range res.Rows {
+		out = append(out, r.URI+" | "+strings.Join(r.Cols, " | "))
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Figure 2's q1: (painting name, painter name) pairs.
+func TestQ1PaintingAndPainterNames(t *testing.T) {
+	docs := paintings(t)
+	q := pattern.MustParse(`//painting[/name{val}, //painter[/name{val}]]`)
+	res, err := EvalQueryOnDocs(q, docs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Columns) != 2 {
+		t.Fatalf("columns = %v", res.Columns)
+	}
+	found := false
+	for _, r := range res.Rows {
+		if r.Cols[0] == "Olympia" && r.Cols[1] == "EdouardManet" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("missing Olympia row in %v", sortedRows(res))
+	}
+	// Every painting document contributes exactly one row; museums none.
+	if len(res.Rows) != 9 {
+		t.Errorf("rows = %d, want 9 (2 Figure 3 + 7 extended)", len(res.Rows))
+	}
+}
+
+// Figure 2's q2: descriptions of paintings from 1854.
+func TestQ2DescriptionsOf1854(t *testing.T) {
+	docs := paintings(t)
+	q := pattern.MustParse(`//painting[/description{cont}, /year="1854"]`)
+	res, err := EvalQueryOnDocs(q, docs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %v", sortedRows(res))
+	}
+	if !strings.HasPrefix(res.Rows[0].Cols[0], "<description>") {
+		t.Errorf("cont must serialize the subtree, got %q", res.Rows[0].Cols[0])
+	}
+}
+
+// Figure 2's q3: last names of painters of a painting whose name contains
+// the word Lion.
+func TestQ3ContainsLion(t *testing.T) {
+	docs := paintings(t)
+	q := pattern.MustParse(`//painting[/name~"Lion", /painter[/name[/last{val}]]]`)
+	res, err := EvalQueryOnDocs(q, docs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "The Lion Hunt" (delacroix.xml) and "The Lion Hunt Fragment".
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %v", sortedRows(res))
+	}
+	for _, r := range res.Rows {
+		if r.Cols[0] != "Delacroix" {
+			t.Errorf("row = %v", r)
+		}
+	}
+}
+
+// Figure 2's q4: Manet paintings created in (1854, 1865].
+func TestQ4ManetRange(t *testing.T) {
+	docs := paintings(t)
+	q := pattern.MustParse(`//painting[/name{val}, /painter[/name[/last="Manet"]], /year in ("1854","1865"]]`)
+	res, err := EvalQueryOnDocs(q, docs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, r := range res.Rows {
+		names = append(names, r.Cols[0])
+	}
+	sort.Strings(names)
+	want := []string{"Le dejeuner sur lherbe", "Music in the Tuileries", "The Races at Longchamp"}
+	if strings.Join(names, ";") != strings.Join(want, ";") {
+		t.Errorf("names = %v, want %v", names, want)
+	}
+}
+
+// Figure 2's q5 (value join): museums exposing paintings by Delacroix.
+func TestQ5ValueJoin(t *testing.T) {
+	docs := paintings(t)
+	q := pattern.MustParse(`//museum[/name{val}, //painting[/@id $a]], //painting[/@id $b, /painter[/name[/last="Delacroix"]]] where $a = $b`)
+	res, err := EvalQueryOnDocs(q, docs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	museums := map[string]bool{}
+	for _, r := range res.Rows {
+		museums[r.Cols[0]] = true
+		if !strings.Contains(r.URI, "+") {
+			t.Errorf("joined row URI %q lacks both documents", r.URI)
+		}
+	}
+	// Louvre (1830-1, 1854-2), National Gallery (1854-1), Art Institute (1861-1).
+	for _, m := range []string{"Louvre", "National Gallery", "Art Institute"} {
+		if !museums[m] {
+			t.Errorf("missing museum %q in %v", m, museums)
+		}
+	}
+	if museums["Musee dOrsay"] {
+		t.Error("Musee dOrsay has no Delacroix but was returned")
+	}
+}
+
+func TestValAndContTogether(t *testing.T) {
+	doc, _ := xmltree.Parse("d.xml", []byte(`<a><b>x<c>y</c></b></a>`))
+	q := pattern.MustParse(`//b{val,cont}`)
+	res, err := EvalQueryOnDocs(q, []*xmltree.Document{doc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	if res.Rows[0].Cols[0] != "xy" {
+		t.Errorf("val = %q", res.Rows[0].Cols[0])
+	}
+	if res.Rows[0].Cols[1] != "<b>x<c>y</c></b>" {
+		t.Errorf("cont = %q", res.Rows[0].Cols[1])
+	}
+}
+
+func TestAttributeValProjection(t *testing.T) {
+	doc, _ := xmltree.Parse("d.xml", []byte(`<a id="42"/>`))
+	q := pattern.MustParse(`//a[/@id{val}]`)
+	res, err := EvalQueryOnDocs(q, []*xmltree.Document{doc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0].Cols[0] != "42" {
+		t.Errorf("rows = %v", res.Rows)
+	}
+}
+
+func TestSetSemantics(t *testing.T) {
+	// Two embeddings produce the same output values: one row.
+	doc, _ := xmltree.Parse("d.xml", []byte(`<a><b>same</b><b>same</b></a>`))
+	q := pattern.MustParse(`//a[/b{val}]`)
+	res, err := EvalQueryOnDocs(q, []*xmltree.Document{doc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Errorf("rows = %v, want deduplicated single row", res.Rows)
+	}
+}
+
+func TestNoAnnotationsMatchYieldsOneEmptyRow(t *testing.T) {
+	doc, _ := xmltree.Parse("d.xml", []byte(`<a><b/></a>`))
+	q := pattern.MustParse(`//a[/b]`)
+	res, err := EvalQueryOnDocs(q, []*xmltree.Document{doc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || len(res.Rows[0].Cols) != 0 {
+		t.Errorf("rows = %v", res.Rows)
+	}
+}
+
+func TestPredicateOnElementValueUsesTextConcat(t *testing.T) {
+	doc, _ := xmltree.Parse("d.xml", []byte(`<a><b>hello <c>world</c></b></a>`))
+	q := pattern.MustParse(`//b="hello world"`)
+	res, err := EvalQueryOnDocs(q, []*xmltree.Document{doc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Errorf("value concatenation predicate failed: %v", res.Rows)
+	}
+}
+
+func TestEvalPatternOnDocSeparatesPatterns(t *testing.T) {
+	docs := paintings(t)
+	tr := pattern.MustParse(`//painting[/name{val}]`).Patterns[0]
+	var total int
+	for _, d := range docs {
+		total += len(EvalPatternOnDoc(tr, d))
+	}
+	if total != 9 {
+		t.Errorf("pattern rows = %d, want 9", total)
+	}
+}
+
+func TestMatchesAgreesWithTwigJoinOnXmark(t *testing.T) {
+	cfg := xmark.DefaultConfig(40)
+	cfg.TargetDocBytes = 3 << 10
+	queries := []string{
+		`//item[/name, /payment]`,
+		`//person[/profile[/education]]`,
+		`//open_auction[/bidder[/increase], /type]`,
+		`//item[/mailbox[/mail[/text]], /location]`,
+		`//site[//incategory]`,
+	}
+	for i := 0; i < cfg.Docs; i++ {
+		gd := xmark.GenerateDoc(cfg, i)
+		d, err := xmltree.Parse(gd.URI, gd.Data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, qs := range queries {
+			tr := pattern.MustParse(qs).Patterns[0]
+			// Predicate-free patterns: engine embedding search must agree
+			// with the holistic twig join over label streams.
+			want := twigjoin.Match(tr, twigjoin.StreamsFromDocument(tr, d))
+			if got := Matches(tr, d); got != want {
+				t.Errorf("doc %d query %s: engine=%v twig=%v", i, qs, got, want)
+			}
+		}
+	}
+}
+
+func TestJoinVariableSharedWithVal(t *testing.T) {
+	// A node can be both an output and a join endpoint.
+	a, _ := xmltree.Parse("a.xml", []byte(`<x><k>7</k></x>`))
+	b, _ := xmltree.Parse("b.xml", []byte(`<y><k>7</k><v>hit</v></y>`))
+	q := pattern.MustParse(`//x[/k{val} $p], //y[/k $q, /v{val}] where $p = $q`)
+	res, err := EvalQueryOnDocs(q, []*xmltree.Document{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0].Cols[0] != "7" || res.Rows[0].Cols[1] != "hit" {
+		t.Errorf("rows = %v", res.Rows)
+	}
+}
+
+func TestThreeWayJoin(t *testing.T) {
+	a, _ := xmltree.Parse("a.xml", []byte(`<x><k>1</k></x>`))
+	b, _ := xmltree.Parse("b.xml", []byte(`<y><k>1</k><m>2</m></y>`))
+	c, _ := xmltree.Parse("c.xml", []byte(`<z><m>2</m><out>deep</out></z>`))
+	q := pattern.MustParse(`//x[/k $a], //y[/k $b, /m $c], //z[/m $d, /out{val}] where $a = $b, $c = $d`)
+	res, err := EvalQueryOnDocs(q, []*xmltree.Document{a, b, c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0].Cols[0] != "deep" {
+		t.Errorf("rows = %v", res.Rows)
+	}
+}
+
+func TestEvalQueryOnDocSetsRestrictsPerPattern(t *testing.T) {
+	docs := paintings(t)
+	q := pattern.MustParse(`//museum[/name{val}, //painting[/@id $a]], //painting[/@id $b, /painter[/name[/last="Delacroix"]]] where $a = $b`)
+	// Restrict the museum pattern to a single museum document.
+	var museumDocs, paintingDocs []*xmltree.Document
+	for _, d := range docs {
+		if strings.HasPrefix(d.URI, "museum-1") {
+			museumDocs = append(museumDocs, d)
+		}
+		if strings.HasPrefix(d.URI, "painting-") || d.URI == "delacroix.xml" || d.URI == "manet.xml" {
+			paintingDocs = append(paintingDocs, d)
+		}
+	}
+	res, err := EvalQueryOnDocSets(q, [][]*xmltree.Document{museumDocs, paintingDocs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.Rows {
+		if r.Cols[0] != "Louvre" {
+			t.Errorf("unexpected museum %q", r.Cols[0])
+		}
+	}
+	if len(res.Rows) == 0 {
+		t.Error("restricted evaluation returned nothing")
+	}
+}
+
+func TestEvalQueryErrors(t *testing.T) {
+	q := pattern.MustParse(`//a, //b`)
+	if _, err := EvalQueryOnDocSets(q, [][]*xmltree.Document{nil}); err == nil {
+		t.Error("mismatched doc sets accepted")
+	}
+	bad := &pattern.Query{}
+	if _, err := EvalQueryOnDocs(bad, nil); err == nil {
+		t.Error("invalid query accepted")
+	}
+}
+
+func TestResultBytes(t *testing.T) {
+	r := &Result{Rows: []Row{{Cols: []string{"abc", "de"}}, {Cols: []string{"f"}}}}
+	if got := r.Bytes(); got != 6 {
+		t.Errorf("Bytes = %d, want 6", got)
+	}
+}
+
+func TestColumnNames(t *testing.T) {
+	q := pattern.MustParse(`//painting[/name{val}, /description{cont}, /@id{val}]`)
+	got := ColumnNames(q)
+	want := []string{"painting/name.val", "painting/description.cont", "painting/@id.val"}
+	if strings.Join(got, ";") != strings.Join(want, ";") {
+		t.Errorf("ColumnNames = %v, want %v", got, want)
+	}
+}

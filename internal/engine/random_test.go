@@ -1,0 +1,111 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/pattern"
+	"repro/internal/xmark"
+	"repro/internal/xmltree"
+)
+
+// Random-pattern differential test: generate structurally random tree
+// patterns over the corpus's actual label alphabet and check the engine
+// against the brute-force oracle on every document. This explores corners
+// the hand-picked query pool cannot.
+
+var labelAlphabet = []string{
+	"site", "regions", "item", "name", "location", "payment", "quantity",
+	"description", "parlist", "listitem", "text", "mailbox", "mail",
+	"from", "to", "person", "profile", "education", "age", "address",
+	"city", "open_auction", "bidder", "increase", "type", "seller",
+	"closed_auction", "price", "annotation", "nonexistent",
+}
+
+var attrAlphabet = []string{"id", "person", "category", "income"}
+
+func randomPattern(rng *rand.Rand) *pattern.Tree {
+	var build func(depth int, axis pattern.Axis, attrAllowed bool) *pattern.Node
+	build = func(depth int, axis pattern.Axis, attrAllowed bool) *pattern.Node {
+		n := &pattern.Node{Axis: axis}
+		if attrAllowed && rng.Intn(6) == 0 {
+			n.IsAttr = true
+			n.Label = attrAlphabet[rng.Intn(len(attrAlphabet))]
+		} else {
+			n.Label = labelAlphabet[rng.Intn(len(labelAlphabet))]
+		}
+		switch rng.Intn(8) {
+		case 0:
+			n.Val = true
+		case 1:
+			if !n.IsAttr {
+				n.Cont = true
+			} else {
+				n.Val = true
+			}
+		case 2:
+			n.Pred = pattern.Pred{Kind: pattern.Contains, Const: "Zanzibar"}
+		case 3:
+			n.Pred = pattern.Pred{Kind: pattern.Eq, Const: "1"}
+		case 4:
+			n.Pred = pattern.Pred{Kind: pattern.Range, Lo: "1", Hi: "3000"}
+		}
+		if !n.IsAttr && depth < 3 {
+			kids := rng.Intn(3)
+			for i := 0; i < kids; i++ {
+				axis := pattern.Child
+				if rng.Intn(2) == 0 {
+					axis = pattern.Descendant
+				}
+				c := build(depth+1, axis, true)
+				c.Parent = n
+				n.Children = append(n.Children, c)
+			}
+		}
+		return n
+	}
+	return &pattern.Tree{Root: build(0, pattern.Descendant, false)}
+}
+
+func TestEngineAgreesWithBruteForceOnRandomPatterns(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260704))
+	cfg := xmark.DefaultConfig(20)
+	cfg.TargetDocBytes = 3 << 10
+	var docs []*xmltree.Document
+	for i := 0; i < cfg.Docs; i++ {
+		gd := xmark.GenerateDoc(cfg, i)
+		d, err := xmltree.Parse(gd.URI, gd.Data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		docs = append(docs, d)
+	}
+	matched := 0
+	for trial := 0; trial < 150; trial++ {
+		tr := randomPattern(rng)
+		q := &pattern.Query{Patterns: []*pattern.Tree{tr}}
+		if err := q.Validate(); err != nil {
+			t.Fatalf("generated invalid pattern: %v", err)
+		}
+		for _, doc := range docs {
+			want := bruteRows(tr, doc)
+			gotRows := EvalPatternOnDoc(tr, doc)
+			got := make([][]string, len(gotRows))
+			for j, r := range gotRows {
+				got[j] = r.Cols
+			}
+			if canon(got) != canon(want) {
+				t.Fatalf("trial %d doc %s pattern %s:\nengine:\n%s\nbrute:\n%s",
+					trial, doc.URI, q.String(), canon(got), canon(want))
+			}
+			if len(got) > 0 {
+				matched++
+			}
+		}
+	}
+	// Sanity: the generator must produce patterns that actually match
+	// sometimes, or the test proves nothing.
+	if matched < 20 {
+		t.Fatalf("only %d (pattern, doc) pairs matched; generator too hostile", matched)
+	}
+}

@@ -1,0 +1,95 @@
+package index
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/cloud/dynamodb"
+	"repro/internal/meter"
+	"repro/internal/pattern"
+	"repro/internal/xmark"
+)
+
+func TestDeleteDocumentRemovesOnlyItsItems(t *testing.T) {
+	for _, s := range All() {
+		store := dynamodb.New(meter.NewLedger())
+		if err := CreateTables(store, s); err != nil {
+			t.Fatal(err)
+		}
+		uuids := NewUUIDGen(6)
+		opts := OptionsFor(store)
+		docs := xmark.Paintings()
+		for _, gd := range docs {
+			d := parseDoc(t, gd.URI, string(gd.Data))
+			if _, _, err := LoadDocument(store, s, d, uuids, opts); err != nil {
+				t.Fatal(err)
+			}
+		}
+		itemsBefore := int64(0)
+		for _, tbl := range s.Tables() {
+			itemsBefore += store.ItemCount(tbl)
+		}
+
+		// Remove delacroix.xml; "The Lion Hunt Fragment" remains.
+		victim := parseDoc(t, "delacroix.xml", xmark.DelacroixXML)
+		_, st, err := DeleteDocument(store, s, victim, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		if st.ItemsDeleted == 0 {
+			t.Fatalf("%s: nothing deleted", s.Name())
+		}
+		itemsAfter := int64(0)
+		for _, tbl := range s.Tables() {
+			itemsAfter += store.ItemCount(tbl)
+		}
+		if itemsAfter != itemsBefore-int64(st.ItemsDeleted) {
+			t.Errorf("%s: items %d -> %d but deleted %d", s.Name(), itemsBefore, itemsAfter, st.ItemsDeleted)
+		}
+
+		q := pattern.MustParse(`//painting[/name~"Lion"]`).Patterns[0]
+		uris, _, err := LookupPattern(store, s, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(uris, []string{"painting-1861-1.xml"}) {
+			t.Errorf("%s: lookup after delete = %v", s.Name(), uris)
+		}
+
+		// Idempotent: deleting again removes nothing.
+		_, st2, err := DeleteDocument(store, s, victim, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st2.ItemsDeleted != 0 {
+			t.Errorf("%s: second delete removed %d items", s.Name(), st2.ItemsDeleted)
+		}
+	}
+}
+
+func TestDeleteItemAccounting(t *testing.T) {
+	store := dynamodb.New(meter.NewLedger())
+	store.CreateTable("t")
+	d := parseDoc(t, "manet.xml", xmark.ManetXML)
+	uuids := NewUUIDGen(7)
+	if err := CreateTables(store, LU); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := LoadDocument(store, LU, d, uuids, OptionsFor(store)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := DeleteDocument(store, LU, d, OptionsFor(store)); err != nil {
+		t.Fatal(err)
+	}
+	for _, tbl := range LU.Tables() {
+		if got := store.ItemCount(tbl); got != 0 {
+			t.Errorf("%s: %d items left", tbl, got)
+		}
+		if got := store.TableBytes(tbl); got != 0 {
+			t.Errorf("%s: %d bytes left", tbl, got)
+		}
+		if got := store.OverheadBytes(tbl); got != 0 {
+			t.Errorf("%s: %d overhead bytes left", tbl, got)
+		}
+	}
+}

@@ -1,0 +1,53 @@
+package index_test
+
+import (
+	"fmt"
+
+	"repro/internal/cloud/dynamodb"
+	"repro/internal/index"
+	"repro/internal/meter"
+	"repro/internal/pattern"
+	"repro/internal/xmark"
+	"repro/internal/xmltree"
+)
+
+// Extracting the Figure 3 document under LUP produces exactly the Figure 4
+// entries: every key maps to the document's label paths.
+func ExampleExtract() {
+	doc, _ := xmltree.Parse("manet.xml", []byte(xmark.ManetXML))
+	ex := index.Extract(index.LUP, doc, index.DefaultOptions())
+	for _, e := range ex.Tables[index.LUP.Tables()[0]] {
+		if e.Key == "wOlympia" || e.Key == "aid 1863-1" {
+			fmt.Printf("%s -> %s\n", e.Key, e.Values[0])
+		}
+	}
+	// Output:
+	// aid 1863-1 -> /epainting/aid 1863-1
+	// wOlympia -> /epainting/ename/wOlympia
+}
+
+// The full index-side round trip: load documents into the key-value store,
+// then look a query up under each strategy.
+func ExampleLookupPattern() {
+	store := dynamodb.New(meter.NewLedger())
+	uuids := index.NewUUIDGen(1)
+	for _, s := range index.All() {
+		index.CreateTables(store, s)
+	}
+	for _, gd := range xmark.Paintings() {
+		doc, _ := xmltree.Parse(gd.URI, gd.Data)
+		for _, s := range index.All() {
+			index.LoadDocument(store, s, doc, uuids, index.OptionsFor(store))
+		}
+	}
+	q := pattern.MustParse(`//painting[/name~"Lion", /painter[/name[/last]]]`).Patterns[0]
+	for _, s := range index.All() {
+		uris, stats, _ := index.LookupPattern(store, s, q)
+		fmt.Printf("%-5s -> %d documents (%d index gets)\n", s.Name(), len(uris), stats.GetOps)
+	}
+	// Output:
+	// LU    -> 2 documents (5 index gets)
+	// LUP   -> 2 documents (2 index gets)
+	// LUI   -> 2 documents (5 index gets)
+	// 2LUPI -> 2 documents (7 index gets)
+}

@@ -1,0 +1,84 @@
+package index
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/pattern"
+)
+
+// ExplainLookup renders the physical look-up plan of a query under a
+// strategy, pattern by pattern — the textual counterpart of Figure 5's
+// plan outline. It shows exactly which index keys are fetched, which query
+// paths are matched, and where intersections, semijoin reductions and the
+// holistic twig join happen.
+func ExplainLookup(s Strategy, q *pattern.Query) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "look-up plan, strategy %s\n", s.Name())
+	for i, t := range q.Patterns {
+		if len(q.Patterns) > 1 {
+			fmt.Fprintf(&b, "pattern %d: %s\n", i+1, renderTree(t))
+		}
+		explainPattern(&b, s, t)
+	}
+	if len(q.Joins) > 0 {
+		b.WriteString("then: evaluate each tree pattern on its document set and apply the value joins (Section 5.5):\n")
+		for _, j := range q.Joins {
+			fmt.Fprintf(&b, "  $%s = $%s\n", j.A, j.B)
+		}
+	}
+	return b.String()
+}
+
+func renderTree(t *pattern.Tree) string {
+	q := &pattern.Query{Patterns: []*pattern.Tree{t}}
+	return q.String()
+}
+
+func explainPattern(b *strings.Builder, s Strategy, t *pattern.Tree) {
+	aug := augment(t)
+	hasRange := false
+	t.Walk(func(n *pattern.Node) {
+		if n.Pred.Kind == pattern.Range {
+			hasRange = true
+		}
+	})
+	if hasRange {
+		b.WriteString("  note: range predicates are ignored at look-up and applied by the engine\n")
+	}
+	switch s {
+	case LU:
+		fmt.Fprintf(b, "  get(%s, k) for k in {%s}\n", s.TableName(flatTable), strings.Join(aug.distinctKeys(), ", "))
+		b.WriteString("  intersect the URI sets\n")
+	case LUP:
+		explainPaths(b, s.pathTableName(), aug)
+		b.WriteString("  intersect the per-path URI sets\n")
+	case LUI:
+		explainTwig(b, s.idTableName(), aug)
+	case TwoLUPI:
+		b.WriteString("  phase 1 (LUP):\n")
+		explainPaths(b, s.pathTableName(), aug)
+		b.WriteString("  intersect -> R1(URI)\n")
+		b.WriteString("  phase 2 (LUI):\n")
+		explainTwig(b, s.idTableName(), aug)
+		b.WriteString("  semijoin each identifier relation with R1 before the twig join (Figure 5)\n")
+	}
+}
+
+func explainPaths(b *strings.Builder, table string, aug *augmented) {
+	for _, qp := range aug.queryPaths() {
+		var path strings.Builder
+		for _, st := range qp {
+			path.WriteString(st.Axis.String())
+			path.WriteString(st.Key)
+		}
+		fmt.Fprintf(b, "  get(%s, %q) -> keep URIs with a data path matching %s\n",
+			table, qp[len(qp)-1].Key, path.String())
+	}
+}
+
+func explainTwig(b *strings.Builder, table string, aug *augmented) {
+	fmt.Fprintf(b, "  get(%s, k) for k in {%s} -> per-URI identifier streams (sorted by pre)\n",
+		table, strings.Join(aug.distinctKeys(), ", "))
+	b.WriteString("  holistic twig join per candidate URI\n")
+}

@@ -1,0 +1,54 @@
+package index
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/pattern"
+)
+
+func TestExplainLookupCoversAllStrategies(t *testing.T) {
+	q := pattern.MustParse(`//painting[/name~"Lion", /year{val} in ("1854","1865"]]`)
+	for _, s := range All() {
+		out := ExplainLookup(s, q)
+		if !strings.Contains(out, s.Name()) {
+			t.Errorf("%s: plan missing strategy name:\n%s", s.Name(), out)
+		}
+		if !strings.Contains(out, "range predicates are ignored") {
+			t.Errorf("%s: plan missing the Section 5.5 range note:\n%s", s.Name(), out)
+		}
+		if !strings.Contains(out, "wLion") {
+			t.Errorf("%s: plan missing the word key:\n%s", s.Name(), out)
+		}
+	}
+	lu := ExplainLookup(LU, q)
+	if !strings.Contains(lu, "intersect") {
+		t.Errorf("LU plan missing intersection:\n%s", lu)
+	}
+	lup := ExplainLookup(LUP, q)
+	// The word step descends from the element (its text may be nested).
+	if !strings.Contains(lup, "//epainting/ename//wLion") {
+		t.Errorf("LUP plan missing the query path:\n%s", lup)
+	}
+	lui := ExplainLookup(LUI, q)
+	if !strings.Contains(lui, "holistic twig join") {
+		t.Errorf("LUI plan missing the twig join:\n%s", lui)
+	}
+	two := ExplainLookup(TwoLUPI, q)
+	for _, want := range []string{"phase 1", "phase 2", "R1", "semijoin", "Figure 5"} {
+		if !strings.Contains(two, want) {
+			t.Errorf("2LUPI plan missing %q:\n%s", want, two)
+		}
+	}
+}
+
+func TestExplainLookupJoins(t *testing.T) {
+	q := pattern.MustParse(`//a[/@id $x], //b[/@id $y] where $x = $y`)
+	out := ExplainLookup(LUP, q)
+	if !strings.Contains(out, "pattern 1") || !strings.Contains(out, "pattern 2") {
+		t.Errorf("multi-pattern plan missing pattern sections:\n%s", out)
+	}
+	if !strings.Contains(out, "$x = $y") {
+		t.Errorf("plan missing the join condition:\n%s", out)
+	}
+}

@@ -1,0 +1,152 @@
+package index
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/xmltree"
+)
+
+// Structural-ID set codecs. The LUI strategy concatenates a node's sorted
+// identifiers into attribute values (Section 5.3). On DynamoDB the paper
+// exploits binary values to store the set "compressed (encoded)"
+// (Section 8.2); we use varint deltas on the pre components. SimpleDB
+// forbids binary values, so its codec is plain text — one of the reasons
+// the predecessor system [8] needed many more, larger items (Tables 7-8).
+
+// ErrCorruptIDSet reports an undecodable identifier blob.
+var ErrCorruptIDSet = errors.New("index: corrupt identifier set")
+
+// EncodeIDsBinary encodes identifiers (sorted by pre) into blobs of at most
+// maxBlob bytes. Each blob is independently decodable: the delta base
+// restarts per blob, so a large set can split across store items.
+func EncodeIDsBinary(ids []xmltree.NodeID, maxBlob int) [][]byte {
+	if maxBlob <= 0 {
+		maxBlob = 1 << 20
+	}
+	var blobs [][]byte
+	var buf []byte
+	var prevPre int32
+	flush := func() {
+		if len(buf) > 0 {
+			blobs = append(blobs, buf)
+			buf = nil
+			prevPre = 0
+		}
+	}
+	var tmp [3 * binary.MaxVarintLen32]byte
+	for _, id := range ids {
+		n := binary.PutUvarint(tmp[:], uint64(id.Pre-prevPre))
+		n += binary.PutUvarint(tmp[n:], uint64(id.Post))
+		n += binary.PutUvarint(tmp[n:], uint64(id.Depth))
+		if len(buf)+n > maxBlob {
+			flush()
+			// Re-encode with a fresh delta base.
+			n = binary.PutUvarint(tmp[:], uint64(id.Pre))
+			n += binary.PutUvarint(tmp[n:], uint64(id.Post))
+			n += binary.PutUvarint(tmp[n:], uint64(id.Depth))
+		}
+		buf = append(buf, tmp[:n]...)
+		prevPre = id.Pre
+	}
+	flush()
+	return blobs
+}
+
+// DecodeIDsBinary decodes one binary blob.
+func DecodeIDsBinary(blob []byte) ([]xmltree.NodeID, error) {
+	var ids []xmltree.NodeID
+	var prevPre int32
+	for len(blob) > 0 {
+		dPre, n := binary.Uvarint(blob)
+		if n <= 0 {
+			return nil, ErrCorruptIDSet
+		}
+		blob = blob[n:]
+		post, n := binary.Uvarint(blob)
+		if n <= 0 {
+			return nil, ErrCorruptIDSet
+		}
+		blob = blob[n:]
+		depth, n := binary.Uvarint(blob)
+		if n <= 0 {
+			return nil, ErrCorruptIDSet
+		}
+		blob = blob[n:]
+		prevPre += int32(dPre)
+		ids = append(ids, xmltree.NodeID{Pre: prevPre, Post: int32(post), Depth: int32(depth)})
+	}
+	return ids, nil
+}
+
+// EncodeIDsText encodes identifiers into text values of at most maxValue
+// bytes each, e.g. "(3,3,2)(6,8,3)", the format SimpleDB can hold.
+func EncodeIDsText(ids []xmltree.NodeID, maxValue int) [][]byte {
+	if maxValue <= 0 {
+		maxValue = 1 << 10
+	}
+	var values [][]byte
+	var b strings.Builder
+	for _, id := range ids {
+		s := fmt.Sprintf("(%d,%d,%d)", id.Pre, id.Post, id.Depth)
+		if b.Len()+len(s) > maxValue && b.Len() > 0 {
+			values = append(values, []byte(b.String()))
+			b.Reset()
+		}
+		b.WriteString(s)
+	}
+	if b.Len() > 0 {
+		values = append(values, []byte(b.String()))
+	}
+	return values
+}
+
+// DecodeIDsText decodes one text value.
+func DecodeIDsText(v []byte) ([]xmltree.NodeID, error) {
+	s := string(v)
+	var ids []xmltree.NodeID
+	for len(s) > 0 {
+		if s[0] != '(' {
+			return nil, ErrCorruptIDSet
+		}
+		end := strings.IndexByte(s, ')')
+		if end < 0 {
+			return nil, ErrCorruptIDSet
+		}
+		parts := strings.Split(s[1:end], ",")
+		if len(parts) != 3 {
+			return nil, ErrCorruptIDSet
+		}
+		var vals [3]int64
+		for i, p := range parts {
+			x, err := strconv.ParseInt(p, 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrCorruptIDSet, err)
+			}
+			vals[i] = x
+		}
+		ids = append(ids, xmltree.NodeID{Pre: int32(vals[0]), Post: int32(vals[1]), Depth: int32(vals[2])})
+		s = s[end+1:]
+	}
+	return ids, nil
+}
+
+// DecodeIDs decodes a value in either codec, chosen by binaryIDs.
+func DecodeIDs(v []byte, binaryIDs bool) ([]xmltree.NodeID, error) {
+	if binaryIDs {
+		return DecodeIDsBinary(v)
+	}
+	return DecodeIDsText(v)
+}
+
+// EncodeIDs encodes a sorted identifier set in the codec chosen by
+// binaryIDs, splitting values at maxValue bytes.
+func EncodeIDs(ids []xmltree.NodeID, binaryIDs bool, maxValue int) [][]byte {
+	if binaryIDs {
+		return EncodeIDsBinary(ids, maxValue)
+	}
+	return EncodeIDsText(ids, maxValue)
+}

@@ -1,0 +1,301 @@
+package index
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/cloud/kv"
+	"repro/internal/pattern"
+	"repro/internal/twigjoin"
+	"repro/internal/xmltree"
+)
+
+// This file implements the look-up side of the strategies (Sections
+// 5.1-5.5): given a query, consult the index as precisely as possible to
+// find the documents that may hold answers.
+//
+// All strategies ignore range predicates during look-up (a range scan over
+// a key-value store would require a full scan, Section 5.5); the engine
+// applies them when evaluating the query on the retrieved documents.
+// Queries made of several tree patterns connected by value joins are looked
+// up one pattern at a time.
+
+// LookupStats aggregates the cost-relevant facts of one look-up.
+type LookupStats struct {
+	// GetOps is |op(q,D,I)|: the number of index keys looked up.
+	GetOps int64
+	// GetTime is the modeled index-store latency (the "DynamoDB get" bar
+	// of Figure 9b/c).
+	GetTime time.Duration
+	// BytesFetched is the index payload retrieved; the physical plan that
+	// post-processes it (intersections, path filtering, twig joins — the
+	// "plan execution" bar) is CPU work proportional to it.
+	BytesFetched int64
+	// TwigCandidates counts the documents whose identifier streams entered
+	// the holistic twig join (LUI and 2LUPI only). It quantifies the
+	// effect of 2LUPI's semijoin reduction (Figure 5): the reduction
+	// shrinks this number relative to plain LUI.
+	TwigCandidates int
+}
+
+func (s *LookupStats) add(o LookupStats) {
+	s.GetOps += o.GetOps
+	s.GetTime += o.GetTime
+	s.BytesFetched += o.BytesFetched
+	s.TwigCandidates += o.TwigCandidates
+}
+
+// LookupQuery looks up each tree pattern of the query and returns one URI
+// list per pattern, sorted, plus combined statistics.
+func LookupQuery(store kv.Store, s Strategy, q *pattern.Query) ([][]string, LookupStats, error) {
+	var stats LookupStats
+	out := make([][]string, len(q.Patterns))
+	for i, t := range q.Patterns {
+		uris, st, err := LookupPattern(store, s, t)
+		if err != nil {
+			return nil, stats, fmt.Errorf("pattern %d: %w", i, err)
+		}
+		stats.add(st)
+		out[i] = uris
+	}
+	return out, stats, nil
+}
+
+// LookupPattern returns the sorted URIs of the documents that may embed the
+// tree pattern, according to the strategy.
+func LookupPattern(store kv.Store, s Strategy, t *pattern.Tree) ([]string, LookupStats, error) {
+	aug := augment(t)
+	switch s {
+	case LU:
+		return lookupLU(store, s.luTableName(), aug)
+	case LUP:
+		return lookupLUP(store, s.pathTableName(), aug)
+	case LUI:
+		return lookupLUI(store, s.idTableName(), aug, nil)
+	case TwoLUPI:
+		uris, st1, err := lookupLUP(store, s.pathTableName(), aug)
+		if err != nil {
+			return nil, st1, err
+		}
+		reduce := make(map[string]bool, len(uris))
+		for _, u := range uris {
+			reduce[u] = true
+		}
+		out, st2, err := lookupLUI(store, s.idTableName(), aug, reduce)
+		st2.add(st1)
+		return out, st2, err
+	default:
+		return nil, LookupStats{}, fmt.Errorf("index: unknown strategy %v", s)
+	}
+}
+
+// augmented is a copy of the pattern with look-up keys resolved and value
+// predicates turned into structure: an equality or containment predicate on
+// an element adds one virtual descendant node per constant word, carrying
+// the corresponding w‖word key (the words of the value are text descendants
+// of the element).
+type augmented struct {
+	tree *pattern.Tree
+	keys map[*pattern.Node]string
+}
+
+func augment(t *pattern.Tree) *augmented {
+	a := &augmented{keys: make(map[*pattern.Node]string)}
+	var clone func(n *pattern.Node) *pattern.Node
+	clone = func(n *pattern.Node) *pattern.Node {
+		c := &pattern.Node{Label: n.Label, IsAttr: n.IsAttr, Axis: n.Axis}
+		switch {
+		case n.IsAttr && n.Pred.Kind == pattern.Eq:
+			// The attribute name-value key serves exactly this case
+			// (Section 5, "these help speed up specific kinds of
+			// queries").
+			a.keys[c] = AttrValueKey(n.Label, n.Pred.Const)
+		case n.IsAttr:
+			a.keys[c] = AttrNameKey(n.Label)
+		default:
+			a.keys[c] = ElementKey(n.Label)
+		}
+		if !n.IsAttr {
+			var words []string
+			switch n.Pred.Kind {
+			case pattern.Eq:
+				words = xmltree.Words(n.Pred.Const)
+			case pattern.Contains:
+				words = xmltree.Words(n.Pred.Const)
+			}
+			for _, w := range words {
+				v := &pattern.Node{Label: "#word:" + w, Axis: pattern.Descendant, Parent: c}
+				a.keys[v] = WordKey(w)
+				c.Children = append(c.Children, v)
+			}
+		}
+		for _, ch := range n.Children {
+			cc := clone(ch)
+			cc.Parent = c
+			c.Children = append(c.Children, cc)
+		}
+		return c
+	}
+	a.tree = &pattern.Tree{Root: clone(t.Root)}
+	return a
+}
+
+// distinctKeys lists the look-up keys of the augmented pattern, sorted.
+func (a *augmented) distinctKeys() []string {
+	set := make(map[string]bool)
+	a.tree.Walk(func(n *pattern.Node) { set[a.keys[n]] = true })
+	keys := make([]string, 0, len(set))
+	for k := range set {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// queryPaths derives the root-to-leaf key paths of the augmented pattern
+// (Section 5.2).
+func (a *augmented) queryPaths() [][]QueryStep {
+	var out [][]QueryStep
+	var rec func(n *pattern.Node, prefix []QueryStep)
+	rec = func(n *pattern.Node, prefix []QueryStep) {
+		path := append(append([]QueryStep{}, prefix...), QueryStep{Axis: n.Axis, Key: a.keys[n]})
+		if len(n.Children) == 0 {
+			out = append(out, path)
+			return
+		}
+		for _, c := range n.Children {
+			rec(c, path)
+		}
+	}
+	rec(a.tree.Root, nil)
+	return out
+}
+
+// lookupLU implements Section 5.1: look up every key extracted from the
+// query and intersect the URI sets.
+func lookupLU(store kv.Store, table string, aug *augmented) ([]string, LookupStats, error) {
+	keys := aug.distinctKeys()
+	postings, d, bytes, err := ReadKeys(store, table, keys, URIPosting, false)
+	if err != nil {
+		return nil, LookupStats{}, err
+	}
+	stats := LookupStats{GetOps: int64(len(keys)), GetTime: d, BytesFetched: bytes}
+	var uriSets []map[string]*Posting
+	for _, k := range keys {
+		uriSets = append(uriSets, postings[k])
+	}
+	return intersectURIs(uriSets), stats, nil
+}
+
+// lookupLUP implements Section 5.2: for each root-to-leaf query path, look
+// up the key of its last step and keep the URIs having a stored data path
+// that matches the query path; intersect across query paths.
+func lookupLUP(store kv.Store, table string, aug *augmented) ([]string, LookupStats, error) {
+	paths := aug.queryPaths()
+	keySet := make(map[string]bool)
+	for _, p := range paths {
+		keySet[p[len(p)-1].Key] = true
+	}
+	keys := make([]string, 0, len(keySet))
+	for k := range keySet {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	postings, d, bytes, err := ReadKeys(store, table, keys, PathPosting, false)
+	if err != nil {
+		return nil, LookupStats{}, err
+	}
+	stats := LookupStats{GetOps: int64(len(keys)), GetTime: d, BytesFetched: bytes}
+
+	var uriSets []map[string]*Posting
+	for _, qp := range paths {
+		last := qp[len(qp)-1].Key
+		matched := make(map[string]*Posting)
+		for uri, post := range postings[last] {
+			for _, stored := range post.Paths {
+				if MatchPath(qp, stored) {
+					matched[uri] = post
+					break
+				}
+			}
+		}
+		uriSets = append(uriSets, matched)
+	}
+	return intersectURIs(uriSets), stats, nil
+}
+
+// lookupLUI implements Sections 5.3-5.4: fetch the identifier streams of
+// every query key and run the holistic twig join per candidate document.
+// When reduce is non-nil (the 2LUPI plan of Figure 5), only URIs in it are
+// considered — the semijoin with the LUP result R1.
+func lookupLUI(store kv.Store, table string, aug *augmented, reduce map[string]bool) ([]string, LookupStats, error) {
+	keys := aug.distinctKeys()
+	postings, d, bytes, err := ReadKeys(store, table, keys, IDPosting, store.Limits().SupportsBinary)
+	if err != nil {
+		return nil, LookupStats{}, err
+	}
+	stats := LookupStats{GetOps: int64(len(keys)), GetTime: d, BytesFetched: bytes}
+
+	// Candidate URIs must appear under every key (and pass the reduction).
+	candidates := make(map[string]bool)
+	for uri := range postings[keys[0]] {
+		candidates[uri] = true
+	}
+	for _, k := range keys[1:] {
+		for uri := range candidates {
+			if _, ok := postings[k][uri]; !ok {
+				delete(candidates, uri)
+			}
+		}
+	}
+	if reduce != nil {
+		for uri := range candidates {
+			if !reduce[uri] {
+				delete(candidates, uri)
+			}
+		}
+	}
+	stats.TwigCandidates = len(candidates)
+
+	var out []string
+	for uri := range candidates {
+		streams := make(twigjoin.Streams)
+		ok := true
+		aug.tree.Walk(func(n *pattern.Node) {
+			p := postings[aug.keys[n]][uri]
+			if p == nil || len(p.IDs) == 0 {
+				ok = false
+				return
+			}
+			streams[n] = twigjoin.Stream(p.IDs)
+		})
+		if ok && twigjoin.Match(aug.tree, streams) {
+			out = append(out, uri)
+		}
+	}
+	sort.Strings(out)
+	return out, stats, nil
+}
+
+// intersectURIs returns the sorted intersection of the URI sets.
+func intersectURIs(sets []map[string]*Posting) []string {
+	if len(sets) == 0 {
+		return nil
+	}
+	var out []string
+	for uri := range sets[0] {
+		in := true
+		for _, s := range sets[1:] {
+			if _, ok := s[uri]; !ok {
+				in = false
+				break
+			}
+		}
+		if in {
+			out = append(out, uri)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,318 @@
+package index
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/cloud/dynamodb"
+	"repro/internal/cloud/kv"
+	"repro/internal/cloud/simpledb"
+	"repro/internal/engine"
+	"repro/internal/meter"
+	"repro/internal/pattern"
+	"repro/internal/xmark"
+	"repro/internal/xmltree"
+)
+
+// corpus loads generated docs into a store under every strategy and keeps
+// the parsed trees for ground truth.
+type corpus struct {
+	store kv.Store
+	docs  []*xmltree.Document
+}
+
+func buildCorpus(t *testing.T, store kv.Store, docs []xmark.Doc) *corpus {
+	t.Helper()
+	c := &corpus{store: store}
+	uuids := NewUUIDGen(3)
+	opts := OptionsFor(store)
+	for _, s := range All() {
+		if err := CreateTables(store, s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, gd := range docs {
+		d, err := xmltree.Parse(gd.URI, gd.Data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.docs = append(c.docs, d)
+		for _, s := range All() {
+			if _, _, err := LoadDocument(store, s, d, uuids, opts); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return c
+}
+
+// truth returns the URIs of documents actually embedding the pattern
+// (with all predicates, including ranges, applied).
+func (c *corpus) truth(t *pattern.Tree) []string {
+	var out []string
+	for _, d := range c.docs {
+		if engine.Matches(t, d) {
+			out = append(out, d.URI)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func isSubset(sub, super []string) bool {
+	set := make(map[string]bool, len(super))
+	for _, s := range super {
+		set[s] = true
+	}
+	for _, s := range sub {
+		if !set[s] {
+			return false
+		}
+	}
+	return true
+}
+
+var lookupQueries = []string{
+	// Point query on the planted rare marker.
+	`//item[//name~"Obsidian", /location{val}]`,
+	// Two-branch twig with value predicates (the LUP false-positive case).
+	`//item[/location="Zanzibar", /payment~"Creditcard"]`,
+	// Pure structure.
+	`//item[/name, /payment]`,
+	`//person[/profile[/education~"Graduate"], /name{val}]`,
+	`//open_auction[/type="Featured", /annotation[/description]]`,
+	// Attribute equality: served by the a‖name⎵value key.
+	`//person[/@id="person3"]`,
+	// Range predicate: ignored at look-up, applied by the engine.
+	`//closed_auction[/price{val} in ("1000","1100")]`,
+	// Deep paths.
+	`//site[//mail[/text~"Zanzibar"]]`,
+	`//item[/description[/parlist[/listitem[/text~"Featured"]]]]`,
+}
+
+func TestLookupCompletenessAndPrecision(t *testing.T) {
+	cfg := xmark.DefaultConfig(120)
+	cfg.TargetDocBytes = 4 << 10
+	c := buildCorpus(t, dynamodb.New(meter.NewLedger()), xmark.Generate(cfg))
+
+	for _, qs := range lookupQueries {
+		q := pattern.MustParse(qs)
+		tr := q.Patterns[0]
+		truth := c.truth(tr)
+		results := map[Strategy][]string{}
+		for _, s := range All() {
+			uris, stats, err := LookupPattern(c.store, s, tr)
+			if err != nil {
+				t.Fatalf("%s on %s: %v", s.Name(), qs, err)
+			}
+			if stats.GetOps == 0 {
+				t.Errorf("%s on %s: no get ops recorded", s.Name(), qs)
+			}
+			results[s] = uris
+			// Completeness: the index may overestimate but never miss a
+			// document with results (no false negatives).
+			if !isSubset(truth, uris) {
+				t.Errorf("%s on %s: false negatives\n truth=%v\n got=%v", s.Name(), qs, truth, uris)
+			}
+		}
+		// Precision ordering: LUP ⊆ LU, LUI ⊆ LUP, 2LUPI = LUI.
+		if !isSubset(results[LUP], results[LU]) {
+			t.Errorf("%s: LUP ⊄ LU", qs)
+		}
+		if !isSubset(results[LUI], results[LUP]) {
+			t.Errorf("%s: LUI ⊄ LUP", qs)
+		}
+		if !reflect.DeepEqual(results[LUI], results[TwoLUPI]) {
+			t.Errorf("%s: 2LUPI %v != LUI %v", qs, results[TwoLUPI], results[LUI])
+		}
+	}
+}
+
+// Table 5's headline property: LUI and 2LUPI are exact for tree pattern
+// queries without range predicates — no false positives.
+func TestLUIExactOnTreePatterns(t *testing.T) {
+	cfg := xmark.DefaultConfig(120)
+	cfg.TargetDocBytes = 4 << 10
+	c := buildCorpus(t, dynamodb.New(meter.NewLedger()), xmark.Generate(cfg))
+	for _, qs := range lookupQueries {
+		q := pattern.MustParse(qs)
+		tr := q.Patterns[0]
+		hasRange := false
+		tr.Walk(func(n *pattern.Node) {
+			if n.Pred.Kind == pattern.Range {
+				hasRange = true
+			}
+		})
+		if hasRange {
+			continue
+		}
+		truth := c.truth(tr)
+		got, _, err := LookupPattern(c.store, LUI, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, truth) {
+			t.Errorf("LUI not exact on %s:\n got   %v\n truth %v", qs, got, truth)
+		}
+	}
+}
+
+// The corpus modifications must actually create the Table 5 shape: strictly
+// fewer docs as strategies refine, for at least one query.
+func TestStrategiesDiscriminate(t *testing.T) {
+	cfg := xmark.DefaultConfig(240)
+	cfg.TargetDocBytes = 4 << 10
+	c := buildCorpus(t, dynamodb.New(meter.NewLedger()), xmark.Generate(cfg))
+
+	// LU > LUP: the rare-name noise docs carry the word in mail text, so
+	// only path filtering excludes them.
+	q1 := pattern.MustParse(`//item[//name~"Obsidian", /location{val}]`).Patterns[0]
+	lu, _, _ := LookupPattern(c.store, LU, q1)
+	lup, _, _ := LookupPattern(c.store, LUP, q1)
+	if len(lu) <= len(lup) {
+		t.Errorf("rare-name query: LU=%d LUP=%d, want LU > LUP", len(lu), len(lup))
+	}
+	if len(lup) != 1 {
+		t.Errorf("rare-name query: LUP=%v, want exactly the planted doc", lup)
+	}
+
+	// LUP > LUI: heterogeneous docs split location and payment across
+	// sibling items.
+	q2 := pattern.MustParse(`//item[/location="Zanzibar", /payment~"Creditcard"]`).Patterns[0]
+	lup2, _, _ := LookupPattern(c.store, LUP, q2)
+	lui2, _, _ := LookupPattern(c.store, LUI, q2)
+	if len(lup2) <= len(lui2) {
+		t.Errorf("split-feature query: LUP=%d LUI=%d, want LUP > LUI", len(lup2), len(lui2))
+	}
+	if len(lui2) == 0 {
+		t.Error("split-feature query has no true matches; corpus markers broken")
+	}
+}
+
+func TestLookupQueryPerPattern(t *testing.T) {
+	c := buildCorpus(t, dynamodb.New(meter.NewLedger()), xmark.Paintings())
+	q := pattern.MustParse(`//museum[/name{val}, //painting[/@id $a]], //painting[/@id $b, /painter[/name[/last="Delacroix"]]] where $a = $b`)
+	per, stats, err := LookupQuery(c.store, LUP, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(per) != 2 {
+		t.Fatalf("per-pattern sets = %d", len(per))
+	}
+	// Pattern 0 (museums): all four museum docs; pattern 1: painting docs
+	// whose painter last name contains the word Delacroix.
+	if len(per[0]) != 4 {
+		t.Errorf("museum candidates = %v", per[0])
+	}
+	for _, u := range per[1] {
+		if u == "manet.xml" {
+			t.Errorf("manet.xml among Delacroix candidates: %v", per[1])
+		}
+	}
+	if len(per[1]) == 0 || stats.GetOps == 0 {
+		t.Errorf("per[1]=%v stats=%+v", per[1], stats)
+	}
+}
+
+func TestLookupOnSimpleDB(t *testing.T) {
+	// The same look-ups work against the SimpleDB backend (text IDs, no
+	// batch get), with identical results.
+	dyn := buildCorpus(t, dynamodb.New(meter.NewLedger()), xmark.Paintings())
+	sdb := buildCorpus(t, simpledb.New(meter.NewLedger()), xmark.Paintings())
+	q := pattern.MustParse(`//painting[/name~"Lion", /painter[/name[/last{val}]]]`).Patterns[0]
+	for _, s := range All() {
+		a, _, err := LookupPattern(dyn.store, s, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, stats, err := LookupPattern(sdb.store, s, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%s: dynamodb=%v simpledb=%v", s.Name(), a, b)
+		}
+		if stats.GetTime <= 0 {
+			t.Errorf("%s: no modeled latency on simpledb", s.Name())
+		}
+	}
+}
+
+func TestLookupAttributeValueKeySelectivity(t *testing.T) {
+	// An equality on an attribute must use the a‖name⎵value key: fewer
+	// URIs than the bare attribute name key would produce.
+	cfg := xmark.DefaultConfig(100)
+	cfg.TargetDocBytes = 4 << 10
+	c := buildCorpus(t, dynamodb.New(meter.NewLedger()), xmark.Generate(cfg))
+	withVal := pattern.MustParse(`//person[/@id="person3"]`).Patterns[0]
+	bare := pattern.MustParse(`//person[/@id]`).Patterns[0]
+	a, _, _ := LookupPattern(c.store, LU, withVal)
+	b, _, _ := LookupPattern(c.store, LU, bare)
+	if len(a) >= len(b) {
+		t.Errorf("attr value key not selective: with=%d bare=%d", len(a), len(b))
+	}
+	if !isSubset(a, b) {
+		t.Error("value-key result not a subset of name-key result")
+	}
+}
+
+func TestLookupMissingKeyYieldsEmpty(t *testing.T) {
+	c := buildCorpus(t, dynamodb.New(meter.NewLedger()), xmark.Paintings())
+	q := pattern.MustParse(`//nonexistent[/alsonot]`).Patterns[0]
+	for _, s := range All() {
+		uris, _, err := LookupPattern(c.store, s, q)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		if len(uris) != 0 {
+			t.Errorf("%s returned %v for a label absent from the corpus", s.Name(), uris)
+		}
+	}
+}
+
+func TestIndexedEvaluationMatchesNoIndex(t *testing.T) {
+	// End to end: evaluating on the looked-up subset must produce exactly
+	// the same rows as evaluating on the whole corpus, for every strategy
+	// (the whole point of Section 5's look-up correctness).
+	cfg := xmark.DefaultConfig(80)
+	cfg.TargetDocBytes = 4 << 10
+	c := buildCorpus(t, dynamodb.New(meter.NewLedger()), xmark.Generate(cfg))
+	byURI := map[string]*xmltree.Document{}
+	for _, d := range c.docs {
+		byURI[d.URI] = d
+	}
+	queries := []string{
+		`//item[//name~"Obsidian", /location{val}]`,
+		`//item[/location="Zanzibar", /payment{val}~"Creditcard"]`,
+		`//closed_auction[/price{val} in ("1000","1100")]`,
+		`//person[/name{val}, /profile[/education="Graduate School"]]`,
+	}
+	for _, qs := range queries {
+		q := pattern.MustParse(qs)
+		want, err := engine.EvalQueryOnDocs(q, c.docs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range All() {
+			per, _, err := LookupQuery(c.store, s, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sets := make([][]*xmltree.Document, len(per))
+			for i, uris := range per {
+				for _, u := range uris {
+					sets[i] = append(sets[i], byURI[u])
+				}
+			}
+			got, err := engine.EvalQueryOnDocSets(q, sets)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got.Rows) != len(want.Rows) {
+				t.Errorf("%s on %s: %d rows via index, %d without",
+					s.Name(), qs, len(got.Rows), len(want.Rows))
+			}
+		}
+	}
+}

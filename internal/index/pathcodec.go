@@ -1,0 +1,111 @@
+package index
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// Path-list compression, the improvement the paper's conclusion suggests:
+// "Further compression of the paths in the LUP index could probably make
+// it even more competitive."
+//
+// A key's paths share long prefixes (they all descend from the same
+// document root), so a sorted path list front-codes well: each path is
+// stored as the length of the prefix it shares with its predecessor plus
+// the remaining suffix. Compressed blocks are self-describing — they start
+// with a marker byte that no plain path can start with (paths always start
+// with '/') — so readers decode transparently and compressed and plain
+// entries can coexist in one table.
+
+// pathBlockMarker distinguishes front-coded blocks from plain path values.
+const pathBlockMarker = 0x01
+
+// EncodePathsCompressed front-codes a path list into blocks of at most
+// maxValue bytes. Paths are sorted first (the order is irrelevant to the
+// LUP look-up, which treats the list as a set).
+func EncodePathsCompressed(paths []string, maxValue int) [][]byte {
+	if maxValue <= 0 {
+		maxValue = 1 << 20
+	}
+	sorted := append([]string(nil), paths...)
+	sort.Strings(sorted)
+	var blocks [][]byte
+	var buf []byte
+	prev := ""
+	var tmp [2 * binary.MaxVarintLen32]byte
+	flush := func() {
+		if len(buf) > 1 {
+			blocks = append(blocks, buf)
+		}
+		buf = nil
+		prev = ""
+	}
+	for _, p := range sorted {
+		if buf == nil {
+			buf = []byte{pathBlockMarker}
+		}
+		shared := commonPrefix(prev, p)
+		n := binary.PutUvarint(tmp[:], uint64(shared))
+		n += binary.PutUvarint(tmp[n:], uint64(len(p)-shared))
+		entry := len(tmp[:n]) + len(p) - shared
+		if len(buf)+entry > maxValue && len(buf) > 1 {
+			flush()
+			buf = []byte{pathBlockMarker}
+			shared = 0
+			n = binary.PutUvarint(tmp[:], 0)
+			n += binary.PutUvarint(tmp[n:], uint64(len(p)))
+		}
+		buf = append(buf, tmp[:n]...)
+		buf = append(buf, p[shared:]...)
+		prev = p
+	}
+	flush()
+	if len(blocks) == 0 {
+		blocks = [][]byte{{pathBlockMarker}}
+	}
+	return blocks
+}
+
+func commonPrefix(a, b string) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	i := 0
+	for i < n && a[i] == b[i] {
+		i++
+	}
+	return i
+}
+
+// DecodePathValue decodes one stored path value: either a plain path
+// string or a front-coded block.
+func DecodePathValue(v []byte) ([]string, error) {
+	if len(v) == 0 || v[0] != pathBlockMarker {
+		return []string{string(v)}, nil
+	}
+	var out []string
+	prev := ""
+	rest := v[1:]
+	for len(rest) > 0 {
+		shared, n := binary.Uvarint(rest)
+		if n <= 0 {
+			return nil, fmt.Errorf("index: corrupt path block (prefix length)")
+		}
+		rest = rest[n:]
+		suffix, n := binary.Uvarint(rest)
+		if n <= 0 {
+			return nil, fmt.Errorf("index: corrupt path block (suffix length)")
+		}
+		rest = rest[n:]
+		if int(shared) > len(prev) || int(suffix) > len(rest) {
+			return nil, fmt.Errorf("index: corrupt path block (lengths out of range)")
+		}
+		p := prev[:shared] + string(rest[:suffix])
+		rest = rest[suffix:]
+		out = append(out, p)
+		prev = p
+	}
+	return out, nil
+}

@@ -1,0 +1,178 @@
+package index
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cloud/dynamodb"
+	"repro/internal/cloud/kv"
+	"repro/internal/meter"
+	"repro/internal/pattern"
+	"repro/internal/xmark"
+)
+
+func decodeAll(t *testing.T, blocks [][]byte) []string {
+	t.Helper()
+	var out []string
+	for _, b := range blocks {
+		ps, err := DecodePathValue(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, ps...)
+	}
+	return out
+}
+
+func TestPathCompressionRoundTrip(t *testing.T) {
+	paths := []string{
+		"/esite/eregions/eafrica/eitem/ename",
+		"/esite/eregions/eafrica/eitem/elocation",
+		"/esite/eregions/easia/eitem/ename",
+		"/epainting/ename",
+	}
+	blocks := EncodePathsCompressed(paths, 1<<20)
+	got := decodeAll(t, blocks)
+	want := append([]string(nil), paths...)
+	sort.Strings(want)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("round trip = %v, want %v", got, want)
+	}
+	// Compression must actually shrink shared-prefix lists.
+	var plain, comp int
+	for _, p := range paths {
+		plain += len(p)
+	}
+	for _, b := range blocks {
+		comp += len(b)
+	}
+	if comp >= plain {
+		t.Errorf("compressed %d bytes >= plain %d", comp, plain)
+	}
+}
+
+func TestPathCompressionSplitsAtBudget(t *testing.T) {
+	var paths []string
+	for i := 0; i < 200; i++ {
+		paths = append(paths, "/esite/eregions/eitem/ename/wword"+string(rune('a'+i%26))+string(rune('a'+i/26)))
+	}
+	blocks := EncodePathsCompressed(paths, 64)
+	if len(blocks) < 2 {
+		t.Fatalf("no splitting: %d blocks", len(blocks))
+	}
+	for _, b := range blocks {
+		if len(b) > 64 {
+			t.Errorf("block of %d bytes over budget", len(b))
+		}
+	}
+	got := decodeAll(t, blocks)
+	want := append([]string(nil), paths...)
+	sort.Strings(want)
+	if !reflect.DeepEqual(got, want) {
+		t.Error("split blocks do not reassemble")
+	}
+}
+
+func TestPlainValuesStillDecode(t *testing.T) {
+	ps, err := DecodePathValue([]byte("/epainting/ename"))
+	if err != nil || len(ps) != 1 || ps[0] != "/epainting/ename" {
+		t.Errorf("plain decode = %v, %v", ps, err)
+	}
+}
+
+func TestCorruptPathBlocks(t *testing.T) {
+	bad := [][]byte{
+		{pathBlockMarker, 0xff},            // truncated varint
+		{pathBlockMarker, 0x05, 0x00},      // prefix beyond previous path
+		{pathBlockMarker, 0x00, 0x10, 'a'}, // suffix longer than data
+	}
+	for _, b := range bad {
+		if _, err := DecodePathValue(b); err == nil {
+			t.Errorf("corrupt block %v accepted", b)
+		}
+	}
+}
+
+func TestPathCompressionProperty(t *testing.T) {
+	f := func(raw []string, budgetSeed uint8) bool {
+		paths := make([]string, 0, len(raw))
+		for _, r := range raw {
+			paths = append(paths, "/"+r)
+		}
+		budget := int(budgetSeed)%256 + 24
+		var got []string
+		for _, b := range EncodePathsCompressed(paths, budget) {
+			ps, err := DecodePathValue(b)
+			if err != nil {
+				return false
+			}
+			got = append(got, ps...)
+		}
+		want := append([]string(nil), paths...)
+		sort.Strings(want)
+		if len(want) == 0 {
+			return len(got) == 0
+		}
+		return reflect.DeepEqual(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Compressed and plain LUP indexes must answer every look-up identically.
+func TestCompressedLookupEquivalence(t *testing.T) {
+	docs := xmark.Generate(func() xmark.Config {
+		c := xmark.DefaultConfig(60)
+		c.TargetDocBytes = 4 << 10
+		return c
+	}())
+	build := func(compress bool) kv.Store {
+		store := dynamodb.New(meter.NewLedger())
+		for _, s := range []Strategy{LUP, TwoLUPI} {
+			if err := CreateTables(store, s); err != nil {
+				t.Fatal(err)
+			}
+		}
+		uuids := NewUUIDGen(9)
+		opts := OptionsFor(store)
+		opts.CompressPaths = compress
+		for _, gd := range docs {
+			d := parseDoc(t, gd.URI, string(gd.Data))
+			for _, s := range []Strategy{LUP, TwoLUPI} {
+				if _, _, err := LoadDocument(store, s, d, uuids, opts); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		return store
+	}
+	plain := build(false)
+	comp := build(true)
+
+	// The compressed index must be smaller.
+	pb := plain.TableBytes(LUP.TableName(flatTable))
+	cb := comp.TableBytes(LUP.TableName(flatTable))
+	if cb >= pb {
+		t.Errorf("compressed LUP bytes %d >= plain %d", cb, pb)
+	}
+
+	for _, qs := range lookupQueries {
+		tr := pattern.MustParse(qs).Patterns[0]
+		for _, s := range []Strategy{LUP, TwoLUPI} {
+			a, _, err := LookupPattern(plain, s, tr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, _, err := LookupPattern(comp, s, tr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(a, b) {
+				t.Errorf("%s on %s: plain %v, compressed %v", s.Name(), qs, a, b)
+			}
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package index
+
+import (
+	"repro/internal/pattern"
+	"repro/internal/twigjoin"
+	"repro/internal/xmltree"
+)
+
+// DocPredicate returns a function deciding, from a parsed document alone,
+// whether the look-up of the tree pattern under the strategy would return
+// that document — i.e. the per-document semantics of Sections 5.1-5.4
+// without a key-value store in the loop.
+//
+// It serves two purposes: differential testing (filtering a corpus with
+// the predicate must agree exactly with LookupPattern against a loaded
+// index, which the test suite asserts), and the statistics-driven index
+// advisor of package advisor (the paper's Sections 8.5/9 future work),
+// which evaluates the predicate on a corpus sample to estimate look-up
+// selectivity per strategy without building any index.
+func DocPredicate(s Strategy, t *pattern.Tree) func(*xmltree.Document) bool {
+	aug := augment(t)
+	switch s {
+	case LU:
+		keys := aug.distinctKeys()
+		return func(d *xmltree.Document) bool { return docHasKeys(d, keys) }
+	case LUP:
+		paths := aug.queryPaths()
+		return func(d *xmltree.Document) bool { return docMatchesPaths(d, paths) }
+	case LUI, TwoLUPI:
+		// 2LUPI returns the same documents as LUI (Section 5.4).
+		return func(d *xmltree.Document) bool { return docMatchesTwig(d, aug) }
+	default:
+		return func(*xmltree.Document) bool { return false }
+	}
+}
+
+// docKeySet collects the index keys present in a document.
+func docKeySet(d *xmltree.Document) map[string]bool {
+	set := make(map[string]bool, d.NodeCount())
+	for _, n := range d.Nodes() {
+		for _, k := range NodeKeys(n) {
+			set[k] = true
+		}
+	}
+	return set
+}
+
+func docHasKeys(d *xmltree.Document, keys []string) bool {
+	set := docKeySet(d)
+	for _, k := range keys {
+		if !set[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// docMatchesPaths mirrors the LUP look-up: every root-to-leaf query path
+// must match one of the document's data paths.
+func docMatchesPaths(d *xmltree.Document, queryPaths [][]QueryStep) bool {
+	for _, qp := range queryPaths {
+		last := qp[len(qp)-1].Key
+		matched := false
+		for _, n := range d.Nodes() {
+			for _, k := range NodeKeys(n) {
+				if k != last {
+					continue
+				}
+				if MatchPath(qp, PathOf(n, k)) {
+					matched = true
+					break
+				}
+			}
+			if matched {
+				break
+			}
+		}
+		if !matched {
+			return false
+		}
+	}
+	return true
+}
+
+// docMatchesTwig mirrors the LUI look-up: the holistic twig join over the
+// document's per-key identifier streams (including virtual word nodes)
+// must find an embedding.
+func docMatchesTwig(d *xmltree.Document, aug *augmented) bool {
+	// Streams per key, as the index would store them.
+	streams := make(map[string]twigjoin.Stream)
+	wanted := make(map[string]bool)
+	aug.tree.Walk(func(n *pattern.Node) { wanted[aug.keys[n]] = true })
+	for _, n := range d.Nodes() {
+		for _, k := range NodeKeys(n) {
+			if wanted[k] {
+				streams[k] = append(streams[k], n.ID)
+			}
+		}
+	}
+	in := make(twigjoin.Streams)
+	ok := true
+	aug.tree.Walk(func(n *pattern.Node) {
+		s := streams[aug.keys[n]]
+		if len(s) == 0 {
+			ok = false
+			return
+		}
+		in[n] = s
+	})
+	return ok && twigjoin.Match(aug.tree, in)
+}

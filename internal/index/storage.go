@@ -1,0 +1,305 @@
+package index
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/cloud/kv"
+	"repro/internal/xmltree"
+)
+
+// UUIDGen produces RFC 4122-shaped version-4 identifiers from a seeded
+// PRNG. The paper uses UUIDs as DynamoDB range keys so that items can be
+// inserted concurrently from multiple virtual machines without overwrites
+// (Section 6); a seeded generator keeps the simulation reproducible. It is
+// safe for concurrent use.
+type UUIDGen struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewUUIDGen returns a generator; distinct loader instances should use
+// distinct seeds.
+func NewUUIDGen(seed int64) *UUIDGen {
+	return &UUIDGen{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Next returns a fresh identifier.
+func (g *UUIDGen) Next() string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	var b [16]byte
+	g.rng.Read(b[:])
+	b[6] = (b[6] & 0x0f) | 0x40 // version 4
+	b[8] = (b[8] & 0x3f) | 0x80 // variant 10
+	return fmt.Sprintf("%x-%x-%x-%x-%x", b[0:4], b[4:6], b[6:8], b[8:10], b[10:16])
+}
+
+// CreateTables creates the strategy's tables on the store. It is a no-op
+// for tables that already exist.
+func CreateTables(store kv.Store, s Strategy) error {
+	for _, t := range s.Tables() {
+		if err := store.CreateTable(t); err != nil && !errors.Is(err, kv.ErrTableExists) {
+			return err
+		}
+	}
+	return nil
+}
+
+// DropTables deletes the strategy's tables, ignoring missing ones.
+func DropTables(store kv.Store, s Strategy) error {
+	for _, t := range s.Tables() {
+		if err := store.DeleteTable(t); err != nil && !errors.Is(err, kv.ErrNoSuchTable) {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadStats summarizes one document's index load.
+type LoadStats struct {
+	Entries  int
+	Items    int   // store items written (|op(D,I)| contribution)
+	Requests int   // batch API calls issued
+	Bytes    int64 // payload bytes written
+}
+
+// OptionsFor returns extraction options suited to the store: binary
+// compressed identifiers when the store accepts them, text otherwise, with
+// value splitting under the store's item and value caps.
+func OptionsFor(store kv.Store) Options {
+	lim := store.Limits()
+	opts := Options{BinaryIDs: lim.SupportsBinary}
+	max := lim.MaxValueBytes
+	if lim.MaxItemBytes > 0 && (max == 0 || lim.MaxItemBytes < max) {
+		max = lim.MaxItemBytes
+	}
+	if max == 0 {
+		max = 1 << 20
+	}
+	// Leave room for key, range key and attribute name in the item.
+	opts.MaxValueBytes = int(max) - 512
+	if opts.MaxValueBytes < 256 {
+		opts.MaxValueBytes = int(max) * 3 / 4
+	}
+	return opts
+}
+
+// LoadDocument extracts the document's entries under the strategy and
+// writes them to the store in batch puts, returning the modeled store
+// latency and load statistics. Entries whose values exceed the store's item
+// budget are split across several UUID-ranged items.
+func LoadDocument(store kv.Store, s Strategy, doc *xmltree.Document, uuids *UUIDGen, opts Options) (time.Duration, LoadStats, error) {
+	ex := Extract(s, doc, opts)
+	return WriteExtraction(store, ex, uuids)
+}
+
+// WriteExtraction writes a precomputed extraction to the store.
+func WriteExtraction(store kv.Store, ex *Extraction, uuids *UUIDGen) (time.Duration, LoadStats, error) {
+	var (
+		total time.Duration
+		stats LoadStats
+	)
+	lim := store.Limits()
+	batchLimit := lim.BatchPutItems
+	if batchLimit <= 0 {
+		batchLimit = 1
+	}
+	itemBudget := int64(48 << 10)
+	if lim.MaxItemBytes > 0 && lim.MaxItemBytes-512 < itemBudget {
+		itemBudget = lim.MaxItemBytes - 512
+	}
+
+	var batch []kv.Item
+	flush := func(table string) error {
+		if len(batch) == 0 {
+			return nil
+		}
+		d, err := store.BatchPut(table, batch)
+		if err != nil {
+			return err
+		}
+		total += d
+		stats.Requests++
+		stats.Items += len(batch)
+		for _, it := range batch {
+			stats.Bytes += it.Size()
+		}
+		batch = batch[:0]
+		return nil
+	}
+
+	for _, table := range sortedTables(ex) {
+		for _, e := range ex.Tables[table] {
+			stats.Entries++
+			for _, values := range splitValues(e.Values, itemBudget, int64(len(e.Key)+len(ex.URI))) {
+				item := kv.Item{
+					HashKey:  e.Key,
+					RangeKey: uuids.Next(),
+					Attrs:    []kv.Attr{{Name: ex.URI, Values: values}},
+				}
+				batch = append(batch, item)
+				if len(batch) == batchLimit {
+					if err := flush(table); err != nil {
+						return total, stats, err
+					}
+				}
+			}
+		}
+		if err := flush(table); err != nil {
+			return total, stats, err
+		}
+	}
+	return total, stats, nil
+}
+
+func sortedTables(ex *Extraction) []string {
+	tables := make([]string, 0, len(ex.Tables))
+	for t := range ex.Tables {
+		tables = append(tables, t)
+	}
+	// Map order is random; entries were appended per table in sorted key
+	// order, and table count is at most two, so a simple sort suffices.
+	if len(tables) == 2 && tables[0] > tables[1] {
+		tables[0], tables[1] = tables[1], tables[0]
+	}
+	return tables
+}
+
+// splitValues packs values into groups whose total size fits the item
+// budget (minus fixed overhead), preserving order.
+func splitValues(values [][]byte, budget, fixed int64) [][]kv.Value {
+	avail := budget - fixed
+	if avail < 1 {
+		avail = 1
+	}
+	var groups [][]kv.Value
+	var cur []kv.Value
+	var size int64
+	for _, v := range values {
+		vs := int64(len(v))
+		if len(cur) > 0 && size+vs > avail {
+			groups = append(groups, cur)
+			cur, size = nil, 0
+		}
+		cur = append(cur, kv.Value(v))
+		size += vs
+	}
+	if len(cur) > 0 || len(groups) == 0 {
+		groups = append(groups, cur)
+	}
+	return groups
+}
+
+// PostingKind selects which sub-index a read targets.
+type PostingKind uint8
+
+const (
+	// URIPosting reads bare URI entries (LU).
+	URIPosting PostingKind = iota
+	// PathPosting reads label-path entries (LUP / 2LUPI's first table).
+	PathPosting
+	// IDPosting reads identifier entries (LUI / 2LUPI's second table).
+	IDPosting
+)
+
+// Posting is the merged index content of one key for one document.
+type Posting struct {
+	URI   string
+	Paths []string
+	IDs   []xmltree.NodeID
+}
+
+// ReadKey fetches and decodes every item under one hash key of a table,
+// merging items by URI. Identifier lists are merged in pre order.
+func ReadKey(store kv.Store, table, key string, kind PostingKind, binaryIDs bool) (map[string]*Posting, time.Duration, error) {
+	items, d, err := store.Get(table, key)
+	if err != nil {
+		return nil, 0, err
+	}
+	postings, err := decodeItems(items, kind, binaryIDs)
+	return postings, d, err
+}
+
+// ReadKeys batch-fetches several hash keys, respecting the store's batch
+// limit, and returns per-key postings.
+func ReadKeys(store kv.Store, table string, keys []string, kind PostingKind, binaryIDs bool) (map[string]map[string]*Posting, time.Duration, int64, error) {
+	lim := store.Limits().BatchGetKeys
+	if lim <= 0 {
+		lim = 1
+	}
+	out := make(map[string]map[string]*Posting, len(keys))
+	var total time.Duration
+	var bytes int64
+	for start := 0; start < len(keys); start += lim {
+		end := start + lim
+		if end > len(keys) {
+			end = len(keys)
+		}
+		got, d, err := store.BatchGet(table, keys[start:end])
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		total += d
+		for k, items := range got {
+			for _, it := range items {
+				bytes += it.Size()
+			}
+			postings, err := decodeItems(items, kind, binaryIDs)
+			if err != nil {
+				return nil, 0, 0, fmt.Errorf("key %q: %w", k, err)
+			}
+			out[k] = postings
+		}
+	}
+	return out, total, bytes, nil
+}
+
+func decodeItems(items []kv.Item, kind PostingKind, binaryIDs bool) (map[string]*Posting, error) {
+	postings := make(map[string]*Posting)
+	for _, it := range items {
+		for _, a := range it.Attrs {
+			p, ok := postings[a.Name]
+			if !ok {
+				p = &Posting{URI: a.Name}
+				postings[a.Name] = p
+			}
+			switch kind {
+			case URIPosting:
+				// Presence is all that matters.
+			case PathPosting:
+				for _, v := range a.Values {
+					paths, err := DecodePathValue(v)
+					if err != nil {
+						return nil, err
+					}
+					p.Paths = append(p.Paths, paths...)
+				}
+			case IDPosting:
+				for _, v := range a.Values {
+					ids, err := DecodeIDs(v, binaryIDs)
+					if err != nil {
+						return nil, err
+					}
+					p.IDs = append(p.IDs, ids...)
+				}
+			}
+		}
+	}
+	if kind == IDPosting {
+		for _, p := range postings {
+			sortIDs(p.IDs)
+		}
+	}
+	return postings, nil
+}
+
+func sortIDs(ids []xmltree.NodeID) {
+	// Items arrive ordered by UUID range key, not by content; restore the
+	// pre order the twig join requires.
+	sort.Slice(ids, func(i, j int) bool { return ids[i].Pre < ids[j].Pre })
+}

@@ -1,0 +1,169 @@
+package meter
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestRecordAndGet(t *testing.T) {
+	l := NewLedger()
+	l.Record("dynamodb", "put", 1, 25, 1000)
+	l.Record("dynamodb", "put", 2, 50, 2000)
+	l.Record("dynamodb", "get", 1, 1, 64)
+	u := l.Snapshot()
+	if got := u.Get("dynamodb", "put"); got != (Counts{3, 75, 3000}) {
+		t.Errorf("put counts = %+v", got)
+	}
+	if got := u.Get("dynamodb", "get"); got != (Counts{1, 1, 64}) {
+		t.Errorf("get counts = %+v", got)
+	}
+	if got := u.Get("dynamodb", "missing"); got != (Counts{}) {
+		t.Errorf("missing op counts = %+v, want zero", got)
+	}
+}
+
+func TestServiceAggregates(t *testing.T) {
+	l := NewLedger()
+	l.Record("s3", "put", 2, 2, 100)
+	l.Record("s3", "get", 3, 3, 200)
+	l.Record("sqs", "send", 5, 5, 50)
+	u := l.Snapshot()
+	if got := u.ServiceCalls("s3"); got != 5 {
+		t.Errorf("ServiceCalls(s3) = %d, want 5", got)
+	}
+	if got := u.ServiceUnits("s3"); got != 5 {
+		t.Errorf("ServiceUnits(s3) = %d, want 5", got)
+	}
+	if got := u.ServiceBytes("s3"); got != 300 {
+		t.Errorf("ServiceBytes(s3) = %d, want 300", got)
+	}
+	if got := u.ServiceCalls("sqs"); got != 5 {
+		t.Errorf("ServiceCalls(sqs) = %d, want 5", got)
+	}
+}
+
+func TestSnapshotIsImmutable(t *testing.T) {
+	l := NewLedger()
+	l.Record("s3", "get", 1, 1, 10)
+	u1 := l.Snapshot()
+	l.Record("s3", "get", 1, 1, 10)
+	if got := u1.Get("s3", "get").Calls; got != 1 {
+		t.Errorf("snapshot mutated: calls = %d, want 1", got)
+	}
+}
+
+func TestSub(t *testing.T) {
+	l := NewLedger()
+	l.Record("s3", "get", 1, 1, 10)
+	l.AddInstanceSeconds("l", 5)
+	before := l.Snapshot()
+	l.Record("s3", "get", 4, 4, 40)
+	l.Record("sqs", "send", 1, 1, 1)
+	l.AddInstanceSeconds("l", 7)
+	l.AddEgress(100)
+	delta := l.Snapshot().Sub(before)
+	if got := delta.Get("s3", "get"); got != (Counts{4, 4, 40}) {
+		t.Errorf("delta s3.get = %+v", got)
+	}
+	if got := delta.Get("sqs", "send"); got != (Counts{1, 1, 1}) {
+		t.Errorf("delta sqs.send = %+v", got)
+	}
+	if got := delta.InstanceSeconds("l"); got != 7 {
+		t.Errorf("delta instance seconds = %v, want 7", got)
+	}
+	if got := delta.EgressBytes(); got != 100 {
+		t.Errorf("delta egress = %d, want 100", got)
+	}
+}
+
+func TestAdd(t *testing.T) {
+	a := NewLedger()
+	a.Record("s3", "get", 1, 1, 10)
+	b := NewLedger()
+	b.Record("s3", "get", 2, 2, 20)
+	b.AddEgress(5)
+	sum := a.Snapshot().Add(b.Snapshot())
+	if got := sum.Get("s3", "get"); got != (Counts{3, 3, 30}) {
+		t.Errorf("sum = %+v", got)
+	}
+	if sum.EgressBytes() != 5 {
+		t.Errorf("egress = %d, want 5", sum.EgressBytes())
+	}
+}
+
+func TestOpsSorted(t *testing.T) {
+	l := NewLedger()
+	l.Record("sqs", "send", 1, 1, 0)
+	l.Record("dynamodb", "put", 1, 1, 0)
+	l.Record("dynamodb", "get", 1, 1, 0)
+	ops := l.Snapshot().Ops()
+	want := []Op{{"dynamodb", "get"}, {"dynamodb", "put"}, {"sqs", "send"}}
+	if len(ops) != len(want) {
+		t.Fatalf("got %d ops, want %d", len(ops), len(want))
+	}
+	for i := range want {
+		if ops[i] != want[i] {
+			t.Errorf("ops[%d] = %v, want %v", i, ops[i], want[i])
+		}
+	}
+}
+
+func TestReset(t *testing.T) {
+	l := NewLedger()
+	l.Record("s3", "get", 1, 1, 10)
+	l.AddEgress(3)
+	l.Reset()
+	u := l.Snapshot()
+	if len(u.Ops()) != 0 || u.EgressBytes() != 0 {
+		t.Error("Reset did not clear the ledger")
+	}
+}
+
+func TestStringIncludesEverything(t *testing.T) {
+	l := NewLedger()
+	l.Record("s3", "get", 1, 1, 10)
+	l.AddInstanceSeconds("xl", 3)
+	l.AddEgress(7)
+	s := l.Snapshot().String()
+	for _, want := range []string{"s3.get", "ec2.xl", "net.egress"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q in %q", want, s)
+		}
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	l := NewLedger()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				l.Record("dynamodb", "get", 1, 1, 2)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := l.Snapshot().Get("dynamodb", "get"); got != (Counts{4000, 4000, 8000}) {
+		t.Errorf("counts = %+v", got)
+	}
+}
+
+// Property: Sub is the inverse of Add on op counts.
+func TestAddSubRoundTrip(t *testing.T) {
+	f := func(calls1, calls2 uint16, bytes1, bytes2 uint32) bool {
+		a := NewLedger()
+		a.Record("x", "op", int64(calls1), int64(calls1), int64(bytes1))
+		b := NewLedger()
+		b.Record("x", "op", int64(calls2), int64(calls2), int64(bytes2))
+		ua, ub := a.Snapshot(), b.Snapshot()
+		back := ua.Add(ub).Sub(ub)
+		return back.Get("x", "op") == ua.Get("x", "op")
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

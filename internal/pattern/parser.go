@@ -1,0 +1,480 @@
+package pattern
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Parse reads a query in the textual syntax below and returns its AST.
+//
+//	query    := pattern (',' pattern)* [ 'where' join (',' join)* ]
+//	join     := '$'NAME '=' '$'NAME
+//	pattern  := axis? node                       -- root axis defaults to //
+//	node     := '@'? NAME annots? pred? var? kids?
+//	annots   := '{' ('val'|'cont') (',' ('val'|'cont'))* '}'
+//	pred     := '=' literal
+//	         |  '~' literal                      -- contains(literal)
+//	         |  'in' ('['|'(') literal ',' literal (']'|')')
+//	var      := '$'NAME
+//	kids     := '[' axis node (',' axis node)* ']'
+//	axis     := '/' | '//'
+//	literal  := '"' chars '"' | bareword
+//
+// Examples (the queries of Figure 2):
+//
+//	q1: //painting[/name{val}, //painter[/name{val}]]
+//	q2: //painting[/description{cont}, /year="1854"]
+//	q3: //painting[/name~"Lion", /painter[/name[/last{val}]]]
+//	q4: //painting[/name{val}, /painter[/name[/last="Manet"]], /year in ("1854","1865"]]
+//	q5: //museum[/name{val}, //painting[/@id $a]],
+//	    //painting[/@id $b, /painter[/name[/last="Delacroix"]]] where $a = $b
+func Parse(input string) (*Query, error) {
+	p := &parser{lex: lexer{src: input}}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, fmt.Errorf("pattern: parsing %q: %w", input, err)
+	}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// MustParse is Parse for statically known queries; it panics on error.
+func MustParse(input string) *Query {
+	q, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokName
+	tokString
+	tokSlash       // /
+	tokDoubleSlash // //
+	tokAt
+	tokDollar
+	tokLBrace
+	tokRBrace
+	tokLBracket
+	tokRBracket
+	tokLParen
+	tokRParen
+	tokComma
+	tokEq
+	tokTilde
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	case tokName, tokString:
+		return fmt.Sprintf("%q", t.text)
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+type lexer struct {
+	src string
+	pos int
+}
+
+func isNameRune(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '-' || r == '.' || r == ':'
+}
+
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) && unicode.IsSpace(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, pos: l.pos}, nil
+	}
+	start := l.pos
+	c := l.src[l.pos]
+	switch c {
+	case '/':
+		if l.pos+1 < len(l.src) && l.src[l.pos+1] == '/' {
+			l.pos += 2
+			return token{tokDoubleSlash, "//", start}, nil
+		}
+		l.pos++
+		return token{tokSlash, "/", start}, nil
+	case '@':
+		l.pos++
+		return token{tokAt, "@", start}, nil
+	case '$':
+		l.pos++
+		return token{tokDollar, "$", start}, nil
+	case '{':
+		l.pos++
+		return token{tokLBrace, "{", start}, nil
+	case '}':
+		l.pos++
+		return token{tokRBrace, "}", start}, nil
+	case '[':
+		l.pos++
+		return token{tokLBracket, "[", start}, nil
+	case ']':
+		l.pos++
+		return token{tokRBracket, "]", start}, nil
+	case '(':
+		l.pos++
+		return token{tokLParen, "(", start}, nil
+	case ')':
+		l.pos++
+		return token{tokRParen, ")", start}, nil
+	case ',':
+		l.pos++
+		return token{tokComma, ",", start}, nil
+	case '=':
+		l.pos++
+		return token{tokEq, "=", start}, nil
+	case '~':
+		l.pos++
+		return token{tokTilde, "~", start}, nil
+	case '"':
+		l.pos++
+		var b strings.Builder
+		for l.pos < len(l.src) {
+			if l.src[l.pos] == '"' {
+				l.pos++
+				return token{tokString, b.String(), start}, nil
+			}
+			if l.src[l.pos] == '\\' && l.pos+1 < len(l.src) {
+				l.pos++
+			}
+			b.WriteByte(l.src[l.pos])
+			l.pos++
+		}
+		return token{}, fmt.Errorf("unterminated string at offset %d", start)
+	}
+	if isNameRune(rune(c)) {
+		end := l.pos
+		for end < len(l.src) && isNameRune(rune(l.src[end])) {
+			end++
+		}
+		t := token{tokName, l.src[l.pos:end], start}
+		l.pos = end
+		return t, nil
+	}
+	return token{}, fmt.Errorf("unexpected character %q at offset %d", c, l.pos)
+}
+
+type parser struct {
+	lex    lexer
+	tok    token
+	peeked bool
+}
+
+func (p *parser) peek() (token, error) {
+	if !p.peeked {
+		t, err := p.lex.next()
+		if err != nil {
+			return token{}, err
+		}
+		p.tok, p.peeked = t, true
+	}
+	return p.tok, nil
+}
+
+func (p *parser) advance() (token, error) {
+	t, err := p.peek()
+	p.peeked = false
+	return t, err
+}
+
+func (p *parser) expect(kind tokenKind, what string) (token, error) {
+	t, err := p.advance()
+	if err != nil {
+		return token{}, err
+	}
+	if t.kind != kind {
+		return token{}, fmt.Errorf("expected %s, got %s at offset %d", what, t, t.pos)
+	}
+	return t, nil
+}
+
+func (p *parser) parseQuery() (*Query, error) {
+	q := &Query{}
+	for {
+		t, err := p.parsePattern()
+		if err != nil {
+			return nil, err
+		}
+		q.Patterns = append(q.Patterns, t)
+		nt, err := p.peek()
+		if err != nil {
+			return nil, err
+		}
+		if nt.kind == tokComma {
+			p.advance()
+			continue
+		}
+		break
+	}
+	nt, err := p.peek()
+	if err != nil {
+		return nil, err
+	}
+	if nt.kind == tokName && nt.text == "where" {
+		p.advance()
+		for {
+			j, err := p.parseJoin()
+			if err != nil {
+				return nil, err
+			}
+			q.Joins = append(q.Joins, j)
+			nt, err := p.peek()
+			if err != nil {
+				return nil, err
+			}
+			if nt.kind == tokComma {
+				p.advance()
+				continue
+			}
+			break
+		}
+	}
+	if t, err := p.advance(); err != nil {
+		return nil, err
+	} else if t.kind != tokEOF {
+		return nil, fmt.Errorf("trailing input at offset %d: %s", t.pos, t)
+	}
+	return q, nil
+}
+
+func (p *parser) parseJoin() (JoinCond, error) {
+	if _, err := p.expect(tokDollar, "'$'"); err != nil {
+		return JoinCond{}, err
+	}
+	a, err := p.expect(tokName, "variable name")
+	if err != nil {
+		return JoinCond{}, err
+	}
+	if _, err := p.expect(tokEq, "'='"); err != nil {
+		return JoinCond{}, err
+	}
+	if _, err := p.expect(tokDollar, "'$'"); err != nil {
+		return JoinCond{}, err
+	}
+	b, err := p.expect(tokName, "variable name")
+	if err != nil {
+		return JoinCond{}, err
+	}
+	return JoinCond{A: a.text, B: b.text}, nil
+}
+
+func (p *parser) parsePattern() (*Tree, error) {
+	axis := Descendant
+	t, err := p.peek()
+	if err != nil {
+		return nil, err
+	}
+	if t.kind == tokSlash || t.kind == tokDoubleSlash {
+		p.advance()
+		if t.kind == tokSlash {
+			axis = Child
+		}
+	}
+	root, err := p.parseNode(axis)
+	if err != nil {
+		return nil, err
+	}
+	return &Tree{Root: root}, nil
+}
+
+func (p *parser) parseNode(axis Axis) (*Node, error) {
+	n := &Node{Axis: axis}
+	t, err := p.peek()
+	if err != nil {
+		return nil, err
+	}
+	if t.kind == tokAt {
+		p.advance()
+		n.IsAttr = true
+	}
+	name, err := p.expect(tokName, "node label")
+	if err != nil {
+		return nil, err
+	}
+	n.Label = name.text
+
+	// Annotations.
+	if t, err := p.peek(); err != nil {
+		return nil, err
+	} else if t.kind == tokLBrace {
+		p.advance()
+		for {
+			a, err := p.expect(tokName, "'val' or 'cont'")
+			if err != nil {
+				return nil, err
+			}
+			switch a.text {
+			case "val":
+				n.Val = true
+			case "cont":
+				n.Cont = true
+			default:
+				return nil, fmt.Errorf("unknown annotation %q at offset %d", a.text, a.pos)
+			}
+			t, err := p.advance()
+			if err != nil {
+				return nil, err
+			}
+			if t.kind == tokComma {
+				continue
+			}
+			if t.kind == tokRBrace {
+				break
+			}
+			return nil, fmt.Errorf("expected ',' or '}', got %s at offset %d", t, t.pos)
+		}
+	}
+
+	// Predicate.
+	t, err = p.peek()
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case t.kind == tokEq:
+		p.advance()
+		c, err := p.parseLiteral()
+		if err != nil {
+			return nil, err
+		}
+		n.Pred = Pred{Kind: Eq, Const: c}
+	case t.kind == tokTilde:
+		p.advance()
+		c, err := p.parseLiteral()
+		if err != nil {
+			return nil, err
+		}
+		n.Pred = Pred{Kind: Contains, Const: c}
+	case t.kind == tokName && t.text == "in":
+		p.advance()
+		pred, err := p.parseRange()
+		if err != nil {
+			return nil, err
+		}
+		n.Pred = pred
+	}
+
+	// Variable binding.
+	if t, err := p.peek(); err != nil {
+		return nil, err
+	} else if t.kind == tokDollar {
+		p.advance()
+		v, err := p.expect(tokName, "variable name")
+		if err != nil {
+			return nil, err
+		}
+		n.Var = v.text
+	}
+
+	// Children.
+	if t, err := p.peek(); err != nil {
+		return nil, err
+	} else if t.kind == tokLBracket {
+		p.advance()
+		for {
+			at, err := p.advance()
+			if err != nil {
+				return nil, err
+			}
+			var axis Axis
+			switch at.kind {
+			case tokSlash:
+				axis = Child
+			case tokDoubleSlash:
+				axis = Descendant
+			default:
+				return nil, fmt.Errorf("expected '/' or '//', got %s at offset %d", at, at.pos)
+			}
+			c, err := p.parseNode(axis)
+			if err != nil {
+				return nil, err
+			}
+			c.Parent = n
+			n.Children = append(n.Children, c)
+			t, err := p.advance()
+			if err != nil {
+				return nil, err
+			}
+			if t.kind == tokComma {
+				continue
+			}
+			if t.kind == tokRBracket {
+				break
+			}
+			return nil, fmt.Errorf("expected ',' or ']', got %s at offset %d", t, t.pos)
+		}
+	}
+	return n, nil
+}
+
+func (p *parser) parseLiteral() (string, error) {
+	t, err := p.advance()
+	if err != nil {
+		return "", err
+	}
+	if t.kind != tokString && t.kind != tokName {
+		return "", fmt.Errorf("expected literal, got %s at offset %d", t, t.pos)
+	}
+	return t.text, nil
+}
+
+func (p *parser) parseRange() (Pred, error) {
+	open, err := p.advance()
+	if err != nil {
+		return Pred{}, err
+	}
+	pred := Pred{Kind: Range}
+	switch open.kind {
+	case tokLBracket:
+	case tokLParen:
+		pred.LoStrict = true
+	default:
+		return Pred{}, fmt.Errorf("expected '[' or '(', got %s at offset %d", open, open.pos)
+	}
+	lo, err := p.parseLiteral()
+	if err != nil {
+		return Pred{}, err
+	}
+	pred.Lo = lo
+	if _, err := p.expect(tokComma, "','"); err != nil {
+		return Pred{}, err
+	}
+	hi, err := p.parseLiteral()
+	if err != nil {
+		return Pred{}, err
+	}
+	pred.Hi = hi
+	closeTok, err := p.advance()
+	if err != nil {
+		return Pred{}, err
+	}
+	switch closeTok.kind {
+	case tokRBracket:
+	case tokRParen:
+		pred.HiStrict = true
+	default:
+		return Pred{}, fmt.Errorf("expected ']' or ')', got %s at offset %d", closeTok, closeTok.pos)
+	}
+	return pred, nil
+}

@@ -1,0 +1,90 @@
+package pattern
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPredStringForms(t *testing.T) {
+	cases := []struct {
+		pred Pred
+		want string
+	}{
+		{Pred{}, ""},
+		{Pred{Kind: Eq, Const: "1854"}, `="1854"`},
+		{Pred{Kind: Contains, Const: "Lion"}, `~"Lion"`},
+		{Pred{Kind: Range, Lo: "1", Hi: "5"}, ` in ["1","5"]`},
+		{Pred{Kind: Range, Lo: "1", Hi: "5", LoStrict: true}, ` in ("1","5"]`},
+		{Pred{Kind: Range, Lo: "1", Hi: "5", HiStrict: true}, ` in ["1","5")`},
+	}
+	for _, c := range cases {
+		if got := c.pred.String(); got != c.want {
+			t.Errorf("%+v.String() = %q, want %q", c.pred, got, c.want)
+		}
+	}
+}
+
+func TestOpenEndedRanges(t *testing.T) {
+	// Empty bounds are unbounded (produced by the XQuery translation of
+	// one-sided comparisons).
+	lo := Pred{Kind: Range, Lo: "100", LoStrict: true}
+	if !lo.Matches("101") || lo.Matches("100") || lo.Matches("5") {
+		t.Error("open upper bound broken")
+	}
+	hi := Pred{Kind: Range, Hi: "100"}
+	if !hi.Matches("100") || !hi.Matches("5") || hi.Matches("101") {
+		t.Error("open lower bound broken")
+	}
+}
+
+// Property: a closed range always contains its own bounds, a fully strict
+// range never does, and membership is monotone for numeric values.
+func TestRangeProperty(t *testing.T) {
+	f := func(a, b int16) bool {
+		lo, hi := int(a), int(b)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		if lo == hi {
+			return true
+		}
+		closed := Pred{Kind: Range, Lo: itoa(lo), Hi: itoa(hi)}
+		open := Pred{Kind: Range, Lo: itoa(lo), Hi: itoa(hi), LoStrict: true, HiStrict: true}
+		if !closed.Matches(itoa(lo)) || !closed.Matches(itoa(hi)) {
+			return false
+		}
+		if open.Matches(itoa(lo)) || open.Matches(itoa(hi)) {
+			return false
+		}
+		mid := (lo + hi) / 2
+		if mid != lo && mid != hi && (!closed.Matches(itoa(mid)) || !open.Matches(itoa(mid))) {
+			return false
+		}
+		return !closed.Matches(itoa(lo-1)) && !closed.Matches(itoa(hi+1))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	neg := i < 0
+	if neg {
+		i = -i
+	}
+	var buf [8]byte
+	p := len(buf)
+	for i > 0 {
+		p--
+		buf[p] = byte('0' + i%10)
+		i /= 10
+	}
+	if neg {
+		p--
+		buf[p] = '-'
+	}
+	return string(buf[p:])
+}

@@ -1,0 +1,145 @@
+// Package workload defines the query workloads of the experiments.
+//
+// XMark returns the 10-query workload of Section 8 (the paper takes its
+// queries from the XMark benchmark, listed in its technical report [25]):
+// the queries average around ten pattern nodes, q1 is a highly selective
+// point query, and the last three feature value joins. Selectivities are
+// tuned to the corpus markers of package xmark so that the Table 5 shape
+// emerges: LU coarsest, LUP finer, LUI/2LUPI exact on pure tree patterns.
+//
+// Paintings returns the five sample queries of Figure 2, phrased against
+// the paintings corpus.
+package workload
+
+import "repro/internal/pattern"
+
+// Query is a named workload member.
+type Query struct {
+	// Name is the paper's identifier (q1..q10).
+	Name string
+	// Text is the query in the textual pattern syntax.
+	Text string
+	// About summarizes what the query exercises.
+	About string
+}
+
+// Parse returns the compiled query.
+func (q Query) Parse() *pattern.Query {
+	p := pattern.MustParse(q.Text)
+	p.Name = q.Name
+	return p
+}
+
+// XMark returns the 10-query experimental workload.
+func XMark() []Query {
+	return []Query{
+		{
+			Name:  "q1",
+			Text:  `//item[//name{val}~"Obsidian", /location{val}]`,
+			About: "point query: the one item named with the rare marker; LU false positives from mail text",
+		},
+		{
+			Name:  "q2",
+			Text:  `//open_auction[/type="Featured", /annotation[/description[/text{cont}]], /seller]`,
+			About: "featured auctions with full description subtrees (cont); large results",
+		},
+		{
+			Name:  "q3",
+			Text:  `//item[/location="Zanzibar", /description[/parlist[/listitem[/text]]], //name{val}]`,
+			About: "items at the marker location; LU false positives from mail text mentions",
+		},
+		{
+			Name:  "q4",
+			Text:  `//item[/location="Zanzibar", /payment{val}~"Creditcard", /quantity]`,
+			About: "two-branch twig whose features split across sibling items in heterogeneous docs: LUP false positives",
+		},
+		{
+			Name:  "q5",
+			Text:  `//person[/name{val}, /profile[/education="Graduate School", /age{val} in ("21","42"]], /address[/city]]`,
+			About: "educated persons aged in (21,42] with full address; the range predicate is ignored at look-up (Section 5.5) and applied by the engine",
+		},
+		{
+			Name:  "q6",
+			Text:  `//open_auction[/bidder[/increase{val}, /personref], /initial{val}, /itemref]`,
+			About: "low-selectivity structural twig: nearly every open-auction document matches",
+		},
+		{
+			Name:  "q7",
+			Text:  `//open_auction[/bidder[/increase], /interval[/start{val}, /end], /type]`,
+			About: "twig over per-auction optional elements: LUP retains split-feature documents, LUI does not",
+		},
+		{
+			Name: "q8",
+			Text: `//person[/@id $p, /name{val}, /profile[/education="Graduate School"]], ` +
+				`//closed_auction[/buyer[/@person $b], /price{val}] where $p = $b`,
+			About: "value join: purchases made by persons with graduate education",
+		},
+		{
+			Name: "q9",
+			Text: `//open_auction[/seller[/@person $s], /initial{val}, /bidder[/increase]], ` +
+				`//person[/@id $t, /address[/city{val}="Paris"]] where $s = $t`,
+			About: "value join: auctions sold by Parisians",
+		},
+		{
+			Name: "q10",
+			Text: `//category[/@id $c, /name{val}~"Vintage"], ` +
+				`//item[/incategory[/@category $d], /location{val}, //name{val}] where $c = $d`,
+			About: "value join: items in marker-named categories",
+		},
+	}
+}
+
+// XMarkXQuery returns the same 10-query workload expressed in the XQuery
+// fragment of Section 4 (package xquery translates it to the tree patterns
+// of XMark; the test suite asserts both forms return identical results).
+// Column order may differ between the two forms — patterns project in
+// preorder, XQuery in its own translation order — but row sets agree up to
+// column permutation.
+func XMarkXQuery() []Query {
+	return []Query{
+		{Name: "q1", Text: `for $i in //item where contains($i//name, "Obsidian") ` +
+			`return (string($i//name), string($i/location))`},
+		{Name: "q2", Text: `for $a in //open_auction, $s in $a/seller ` +
+			`where $a/type = "Featured" return $a/annotation/description/text`},
+		{Name: "q3", Text: `for $i in //item, $t in $i/description/parlist/listitem/text ` +
+			`where $i/location = "Zanzibar" return string($i//name)`},
+		{Name: "q4", Text: `for $i in //item, $q in $i/quantity ` +
+			`where $i/location = "Zanzibar" and contains($i/payment, "Creditcard") ` +
+			`return string($i/payment)`},
+		{Name: "q5", Text: `for $p in //person, $c in $p/address/city ` +
+			`where $p/profile/education = "Graduate School" ` +
+			`and $p/profile/age > "21" and $p/profile/age <= "42" ` +
+			`return (string($p/name), string($p/profile/age))`},
+		{Name: "q6", Text: `for $a in //open_auction, $r in $a/itemref, $pr in $a/bidder/personref ` +
+			`return (string($a/bidder/increase), string($a/initial))`},
+		{Name: "q7", Text: `for $a in //open_auction, $b in $a/bidder/increase, ` +
+			`$e in $a/interval/end, $t in $a/type ` +
+			`return string($a/interval/start)`},
+		{Name: "q8", Text: `for $p in //person, $a in //closed_auction ` +
+			`where $p/profile/education = "Graduate School" and $p/@id = $a/buyer/@person ` +
+			`return (string($p/name), string($a/price))`},
+		{Name: "q9", Text: `for $a in //open_auction, $b in $a/bidder/increase, $p in //person ` +
+			`where $a/seller/@person = $p/@id and $p/address/city = "Paris" ` +
+			`return (string($a/initial), string($p/address/city))`},
+		{Name: "q10", Text: `for $c in //category, $i in //item ` +
+			`where contains($c/name, "Vintage") and $c/@id = $i/incategory/@category ` +
+			`return (string($c/name), string($i/location), string($i//name))`},
+	}
+}
+
+// Paintings returns the five sample queries of Figure 2.
+func Paintings() []Query {
+	return []Query{
+		{Name: "q1", Text: `//painting[/name{val}, //painter[/name{val}]]`,
+			About: "(painting name, painter name) pairs"},
+		{Name: "q2", Text: `//painting[/description{cont}, /year="1854"]`,
+			About: "descriptions of paintings from 1854"},
+		{Name: "q3", Text: `//painting[/name~"Lion", /painter[/name[/last{val}]]]`,
+			About: "last names of painters of paintings whose name contains Lion"},
+		{Name: "q4", Text: `//painting[/name{val}, /painter[/name[/last="Manet"]], /year in ("1854","1865"]]`,
+			About: "Manet paintings created in (1854, 1865]"},
+		{Name: "q5", Text: `//museum[/name{val}, //painting[/@id $a]], ` +
+			`//painting[/@id $b, /painter[/name[/last="Delacroix"]]] where $a = $b`,
+			About: "museums exposing paintings by Delacroix (value join)"},
+	}
+}

@@ -1,0 +1,67 @@
+package workload
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/xmark"
+	"repro/internal/xmltree"
+	"repro/internal/xquery"
+)
+
+// The XQuery form of the workload must return the same rows as the
+// tree-pattern form (up to column permutation — the two translations may
+// order projection columns differently).
+func TestXQueryWorkloadEquivalent(t *testing.T) {
+	cfg := xmark.DefaultConfig(200)
+	cfg.TargetDocBytes = 4 << 10
+	var docs []*xmltree.Document
+	for i := 0; i < cfg.Docs; i++ {
+		gd := xmark.GenerateDoc(cfg, i)
+		d, err := xmltree.Parse(gd.URI, gd.Data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		docs = append(docs, d)
+	}
+	canon := func(res *engine.Result) string {
+		rows := make([]string, len(res.Rows))
+		for i, r := range res.Rows {
+			cols := append([]string(nil), r.Cols...)
+			sort.Strings(cols)
+			rows[i] = r.URI + "\x1f" + strings.Join(cols, "\x1f")
+		}
+		sort.Strings(rows)
+		return strings.Join(rows, "\n")
+	}
+
+	pats, xqs := XMark(), XMarkXQuery()
+	if len(pats) != len(xqs) {
+		t.Fatalf("workload sizes differ: %d vs %d", len(pats), len(xqs))
+	}
+	for i := range pats {
+		pq := pats[i].Parse()
+		xq, err := xquery.Parse(xqs[i].Text)
+		if err != nil {
+			t.Fatalf("%s: %v", xqs[i].Name, err)
+		}
+		pres, err := engine.EvalQueryOnDocs(pq, docs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		xres, err := engine.EvalQueryOnDocs(xq, docs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if canon(pres) != canon(xres) {
+			pc, xc := canon(pres), canon(xres)
+			t.Errorf("%s: pattern (%d rows) and XQuery (%d rows) disagree\npattern form:\n%.400s\nxquery form:\n%.400s",
+				pats[i].Name, len(pres.Rows), len(xres.Rows), pc, xc)
+		}
+		if len(pres.Rows) == 0 {
+			t.Errorf("%s: no rows to compare", pats[i].Name)
+		}
+	}
+}

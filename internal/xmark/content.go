@@ -1,0 +1,154 @@
+package xmark
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// vocabulary is the base word pool for generated text, in the spirit of the
+// Shakespearean word list the original XMark generator draws from.
+var vocabulary = []string{
+	"abandon", "account", "against", "already", "ancient", "anybody",
+	"apparel", "arrival", "auction", "balance", "bargain", "believe",
+	"between", "bidding", "brought", "cabinet", "capital", "carried",
+	"century", "certain", "charity", "chamber", "citizen", "clothes",
+	"collect", "comfort", "command", "company", "content", "council",
+	"country", "courage", "current", "customs", "decline", "deliver",
+	"diamond", "dispute", "economy", "edition", "engrave", "estates",
+	"evening", "exhibit", "expense", "factory", "fashion", "feature",
+	"finance", "foreign", "fortune", "forward", "founder", "gallery",
+	"genuine", "greater", "handles", "harvest", "heritage", "history",
+	"holiday", "honest", "imagine", "import", "improve", "invoice",
+	"journey", "justice", "kingdom", "laughter", "leather", "liberty",
+	"machine", "manager", "market", "measure", "medical", "message",
+	"million", "mission", "monarch", "morning", "musical", "mystery",
+	"nation", "natural", "neither", "notable", "observe", "offer",
+	"opinion", "orchard", "organ", "outcome", "package", "painting",
+	"partner", "passion", "payment", "peasant", "penalty", "perform",
+	"picture", "portion", "pottery", "precise", "premium", "present",
+	"produce", "profit", "promise", "protect", "purpose", "quality",
+	"quarter", "receipt", "reserve", "respect", "revenue", "reward",
+	"rhythm", "royalty", "satisfy", "scholar", "service", "silver",
+	"society", "soldier", "standard", "station", "storage", "subject",
+	"success", "supply", "support", "theatre", "thought", "trading",
+	"tribute", "variety", "venture", "village", "vintage", "voyage",
+	"warrant", "wealthy", "welcome", "whisper", "window", "wonder",
+}
+
+// Marker words are planted at controlled frequencies so that the workload
+// queries have known, strategy-discriminating selectivities. They do not
+// occur in the base vocabulary.
+const (
+	// MarkerRareName is the point-query marker (one item name corpus-wide).
+	MarkerRareName = "Obsidian"
+	// MarkerLocation marks a small fraction of item locations.
+	MarkerLocation = "Zanzibar"
+	// MarkerFeatured marks a fraction of open-auction types and, as label
+	// noise, occasionally appears inside item descriptions.
+	MarkerFeatured = "Featured"
+	// MarkerEducation marks a fraction of person education values.
+	MarkerEducation = "Graduate"
+	// MarkerCategory marks a fraction of category names.
+	MarkerCategory = "Vintage"
+	// MarkerPayment is the payment method used by two-branch queries.
+	MarkerPayment = "Creditcard"
+)
+
+var firstNames = []string{
+	"Eugene", "Edouard", "Claude", "Berthe", "Camille", "Gustave",
+	"Mary", "Paul", "Edgar", "Pierre", "Alfred", "Henri",
+}
+
+var lastNames = []string{
+	"Delacroix", "Manet", "Monet", "Morisot", "Pissarro", "Courbet",
+	"Cassatt", "Cezanne", "Degas", "Renoir", "Sisley", "Rousseau",
+}
+
+// Shared, bounded identifier spaces: entity @id values repeat modulo these
+// sizes, so cross-document references (value joins) always have join
+// partners while individual identifiers stay selective.
+const (
+	PersonIDSpace   = 997
+	ItemIDSpace     = 1499
+	CategoryIDSpace = 41
+)
+
+// HotPersonIDSpace is the "popular persons" subspace. The first person of
+// every person document takes its identifier from this subspace, and a
+// fraction of auction references are drawn from it, so that value joins
+// against marked persons (who are always a document's first person) find
+// partners at any corpus scale.
+const HotPersonIDSpace = 31
+
+// hotRefShare is the fraction of person references drawn from the popular
+// subspace, a mild skew in the spirit of real-world reference popularity.
+const hotRefShare = 0.3
+
+// PersonID formats the person identifier for an ordinal.
+func PersonID(ord int) string { return fmt.Sprintf("person%d", ord%PersonIDSpace) }
+
+// ItemID formats the item identifier for an ordinal.
+func ItemID(ord int) string { return fmt.Sprintf("item%d", ord%ItemIDSpace) }
+
+// CategoryID formats the category identifier for an ordinal.
+func CategoryID(ord int) string { return fmt.Sprintf("category%d", ord%CategoryIDSpace) }
+
+// words produces n space-separated vocabulary words; if marker is nonempty
+// it is spliced in at a random position.
+func (g *gen) words(n int, marker string) string {
+	var b strings.Builder
+	b.Grow(n * 8)
+	at := -1
+	if marker != "" {
+		at = g.rng.Intn(n)
+	}
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		if i == at {
+			b.WriteString(marker)
+			continue
+		}
+		b.WriteString(vocabulary[g.rng.Intn(len(vocabulary))])
+	}
+	return b.String()
+}
+
+// sentenceCase capitalizes nothing and keeps matching case-sensitive; text
+// is emitted as-is.
+
+func (g *gen) personName() string {
+	return firstNames[g.rng.Intn(len(firstNames))] + " " + lastNames[g.rng.Intn(len(lastNames))]
+}
+
+func (g *gen) date() string {
+	return fmt.Sprintf("%02d/%02d/%d", 1+g.rng.Intn(12), 1+g.rng.Intn(28), 1998+g.rng.Intn(4))
+}
+
+func (g *gen) timeOfDay() string {
+	return fmt.Sprintf("%02d:%02d:%02d", g.rng.Intn(24), g.rng.Intn(60), g.rng.Intn(60))
+}
+
+func (g *gen) price() string {
+	return fmt.Sprintf("%.2f", 10+g.rng.Float64()*4990)
+}
+
+// priceIn emits a price within [lo, hi), used to plant range-query matches.
+func (g *gen) priceIn(lo, hi float64) string {
+	return fmt.Sprintf("%.2f", lo+g.rng.Float64()*(hi-lo))
+}
+
+func pick(rng *rand.Rand, options ...string) string {
+	return options[rng.Intn(len(options))]
+}
+
+// personRef draws a person reference for an auction: mostly uniform over
+// the whole identifier space, with a skew toward the popular subspace.
+func (g *gen) personRef() string {
+	if g.rng.Float64() < hotRefShare {
+		return PersonID(g.rng.Intn(HotPersonIDSpace))
+	}
+	return PersonID(g.rng.Intn(PersonIDSpace))
+}

@@ -1,0 +1,380 @@
+package xmark
+
+// This file writes the five entity fragments and implements the two corpus
+// modifications of Section 8.1: path-structure alteration (Altered class)
+// and optional-children heterogenization (Heterogeneous class), plus the
+// deterministic marker planting the workload queries rely on.
+
+// kindOrdinal returns the rank of document i among the documents of its
+// kind (0-based), under the fixed kind cycle.
+func kindOrdinal(i int) int {
+	full := i / len(kindCycle)
+	k := kindCycle[i%len(kindCycle)]
+	var perCycle, before int
+	for j, kj := range kindCycle {
+		if kj != k {
+			continue
+		}
+		perCycle++
+		if j < i%len(kindCycle) {
+			before++
+		}
+	}
+	return full*perCycle + before
+}
+
+// kindCount returns how many documents of kind k a corpus of n docs holds.
+func kindCount(n int, k Kind) int {
+	var perCycle int
+	for _, kj := range kindCycle {
+		if kj == k {
+			perCycle++
+		}
+	}
+	count := n / len(kindCycle) * perCycle
+	for j := 0; j < n%len(kindCycle); j++ {
+		if kindCycle[j] == k {
+			count++
+		}
+	}
+	return count
+}
+
+// --- marker rules ------------------------------------------------------
+//
+// All rules are deterministic functions of the document index and the
+// corpus size, so expected selectivities scale with the corpus. ko is the
+// document's ordinal within its kind.
+
+// hasRareNameMarker: exactly one item document corpus-wide carries
+// MarkerRareName inside an item name (the point query, like the paper's q1).
+func (g *gen) hasRareNameMarker() bool {
+	if g.kind != ItemDoc {
+		return false
+	}
+	return kindOrdinal(g.i) == kindCount(g.cfg.Docs, ItemDoc)/2
+}
+
+// hasRareNameNoise: two item documents carry MarkerRareName only inside
+// mail text — label-level false positives for LU.
+func (g *gen) hasRareNameNoise() bool {
+	if g.kind != ItemDoc {
+		return false
+	}
+	ko, n := kindOrdinal(g.i), kindCount(g.cfg.Docs, ItemDoc)
+	return (ko == n/4 || ko == (3*n)/4) && ko != n/2
+}
+
+// hasLocationMarker: ~3% of item documents are located in MarkerLocation.
+func (g *gen) hasLocationMarker() bool {
+	return g.kind == ItemDoc && kindOrdinal(g.i)%29 == 7
+}
+
+// hasLocationNoise: ~2% of item documents mention MarkerLocation only in
+// mail text.
+func (g *gen) hasLocationNoise() bool {
+	return g.kind == ItemDoc && kindOrdinal(g.i)%53 == 11
+}
+
+// hasFeaturedType: ~6% of open-auction documents are of type
+// MarkerFeatured.
+func (g *gen) hasFeaturedType() bool {
+	return g.kind == OpenAuctionDoc && kindOrdinal(g.i)%17 == 3
+}
+
+// hasFeaturedNoise: ~3% of item documents mention MarkerFeatured in their
+// description text.
+func (g *gen) hasFeaturedNoise() bool {
+	return g.kind == ItemDoc && kindOrdinal(g.i)%31 == 5
+}
+
+// hasEducationMarker: ~9% of person documents hold a MarkerEducation
+// education.
+func (g *gen) hasEducationMarker() bool {
+	return g.kind == PersonDoc && kindOrdinal(g.i)%11 == 2
+}
+
+// hasCategoryMarker: ~14% of category documents have MarkerCategory in
+// their name.
+func (g *gen) hasCategoryMarker() bool {
+	return g.kind == CategoryDoc && kindOrdinal(g.i)%7 == 1
+}
+
+// hasPriceMarker: ~8% of closed-auction documents hold a price planted in
+// the range-query window [1000, 1100).
+func (g *gen) hasPriceMarker() bool {
+	return g.kind == ClosedAuctionDoc && kindOrdinal(g.i)%13 == 4
+}
+
+// --- item --------------------------------------------------------------
+
+func (g *gen) item(ord int) {
+	first := ord%maxEntitiesPerDoc == 0
+	het := g.class == Heterogeneous
+
+	location := pick(g.rng, "United States", "Germany", "France", "Japan", "Italy")
+	if first && g.hasLocationMarker() {
+		location = MarkerLocation
+	}
+	var nameMarker string
+	if first && g.hasRareNameMarker() {
+		nameMarker = MarkerRareName
+	}
+	payment := pick(g.rng, MarkerPayment+" Cash", "Cash", "Money order", MarkerPayment)
+	// Pair-split: in heterogeneous documents, the marked item never offers
+	// the marked payment method — a sibling does (emitted by the second
+	// entity), so path lookups see both features but no single item has
+	// them: an LUP false positive that LUI's twig join removes.
+	if het && first && g.hasLocationMarker() {
+		payment = "Cash"
+	}
+	if het && !first && g.hasLocationMarker() {
+		payment = MarkerPayment
+	}
+	var descMarker string
+	if first && g.hasFeaturedNoise() {
+		descMarker = MarkerFeatured
+	}
+	var mailMarker string
+	if first && g.hasRareNameNoise() {
+		mailMarker = MarkerRareName
+	}
+	if first && g.hasLocationNoise() {
+		mailMarker = MarkerLocation
+	}
+
+	g.open("item", "id", ItemID(ord))
+	g.leaf("location", location)
+	if !het || g.rng.Float64() > 0.3 {
+		g.leaf("quantity", pick(g.rng, "1", "2", "3", "5", "8"))
+	}
+	name := g.words(3, nameMarker)
+	if g.class == Altered {
+		// Path alteration: the name keeps its label but moves under an
+		// extra info element, so /item/name (and the LUP path) is gone.
+		g.open("info")
+		g.leaf("name", name)
+		g.close("info")
+	} else {
+		g.leaf("name", name)
+	}
+	if !het || g.rng.Float64() > 0.5 {
+		g.leaf("payment", payment)
+	} else if payment == MarkerPayment {
+		// Never drop the pair-split payment; the false positive depends
+		// on it existing on the sibling.
+		g.leaf("payment", payment)
+	}
+	g.open("description")
+	g.open("parlist")
+	for p := 0; p < 2; p++ {
+		g.open("listitem")
+		m := ""
+		if p == 0 {
+			m = descMarker
+		}
+		g.leaf("text", g.words(55, m))
+		g.close("listitem")
+	}
+	g.close("parlist")
+	g.close("description")
+	if !het || g.rng.Float64() > 0.5 {
+		g.open("shipping")
+		g.buf.WriteString("Will ship " + pick(g.rng, "internationally", "only within country"))
+		g.close("shipping")
+	}
+	g.empty("incategory", "category", CategoryID(g.rng.Intn(CategoryIDSpace)))
+	g.empty("incategory", "category", CategoryID(g.rng.Intn(CategoryIDSpace)))
+	if !het || g.rng.Float64() > 0.4 {
+		box := func() {
+			g.open("mailbox")
+			g.open("mail")
+			g.leaf("from", g.personName())
+			g.leaf("to", g.personName())
+			g.leaf("date", g.date())
+			g.leaf("text", g.words(35, mailMarker))
+			g.close("mail")
+			g.close("mailbox")
+		}
+		if g.class == Altered {
+			g.open("communications")
+			box()
+			g.close("communications")
+		} else {
+			box()
+		}
+	}
+	g.close("item")
+}
+
+// --- person ------------------------------------------------------------
+
+func (g *gen) person(ord int) {
+	first := ord%maxEntitiesPerDoc == 0
+	het := g.class == Heterogeneous
+
+	id := PersonID(ord)
+	if first {
+		// The document's first person — the one markers attach to — lives
+		// in the popular identifier subspace so that value joins find it.
+		id = PersonID(kindOrdinal(g.i) % HotPersonIDSpace)
+	}
+	g.open("person", "id", id)
+	g.leaf("name", g.personName())
+	g.leaf("emailaddress", "mailto:user"+PersonID(ord)+"@example.net")
+	if !het {
+		g.leaf("phone", "+1 ("+g.timeOfDay()[0:2]+") 555-01"+g.timeOfDay()[3:5])
+	}
+	address := func() {
+		g.open("address")
+		g.leaf("street", g.words(2, "")+" St")
+		g.leaf("city", pick(g.rng, "Paris", "Genoa", "Singapore", "Boston", "Kyoto"))
+		g.leaf("country", pick(g.rng, "France", "Italy", "Singapore", "United States", "Japan"))
+		g.leaf("zipcode", g.priceIn(10000, 99999)[0:5])
+		g.close("address")
+	}
+	if het && g.rng.Float64() < 0.3 {
+		// Dropped entirely.
+	} else if g.class == Altered {
+		g.open("contact")
+		address()
+		g.close("contact")
+	} else {
+		address()
+	}
+	if !het {
+		g.leaf("homepage", "https://example.net/~"+PersonID(ord))
+		g.leaf("creditcard", "9999 8888 7777 6666")
+	}
+	if !het || g.rng.Float64() > 0.2 {
+		g.open("profile", "income", g.priceIn(9000, 90000))
+		g.empty("interest", "category", CategoryID(g.rng.Intn(CategoryIDSpace)))
+		edu := pick(g.rng, "High School", "College", "Other")
+		if first && g.hasEducationMarker() {
+			edu = MarkerEducation + " School"
+		}
+		g.leaf("education", edu)
+		g.leaf("gender", pick(g.rng, "male", "female"))
+		g.leaf("business", pick(g.rng, "Yes", "No"))
+		g.leaf("age", pick(g.rng, "21", "28", "34", "42", "55", "63"))
+		g.close("profile")
+	}
+	g.open("watches")
+	g.empty("watch", "open_auction", "auction"+g.priceIn(0, 999)[0:3])
+	g.close("watches")
+	g.close("person")
+}
+
+// --- open auction ------------------------------------------------------
+
+func (g *gen) openAuction(ord int) {
+	first := ord%maxEntitiesPerDoc == 0
+	het := g.class == Heterogeneous
+
+	g.open("open_auction", "id", "openauction"+ItemID(ord)[4:])
+	g.leaf("initial", g.priceIn(10, 300))
+	for b := 0; b < 2+g.rng.Intn(3); b++ {
+		g.open("bidder")
+		g.leaf("date", g.date())
+		g.leaf("time", g.timeOfDay())
+		g.empty("personref", "person", g.personRef())
+		g.leaf("increase", g.priceIn(1, 50))
+		g.close("bidder")
+	}
+	if !het || g.rng.Float64() > 0.3 {
+		g.leaf("current", g.price())
+	}
+	g.empty("itemref", "item", ItemID(g.rng.Intn(ItemIDSpace)))
+	g.empty("seller", "person", g.personRef())
+	annotation := func() {
+		g.open("annotation")
+		g.empty("author", "person", g.personRef())
+		g.open("description")
+		g.leaf("text", g.words(45, ""))
+		g.close("description")
+		g.close("annotation")
+	}
+	if g.class == Altered {
+		g.open("info")
+		annotation()
+		g.close("info")
+	} else {
+		annotation()
+	}
+	g.leaf("quantity", pick(g.rng, "1", "1", "2", "3"))
+	typ := "Regular"
+	if first && g.hasFeaturedType() {
+		typ = MarkerFeatured
+	}
+	if het && g.rng.Float64() < 0.4 && typ == "Regular" {
+		// Optional in heterogeneous documents (never drop the marker).
+	} else {
+		g.leaf("type", typ)
+	}
+	if !het || g.rng.Float64() > 0.5 {
+		// Per-auction optional in heterogeneous documents: some sibling
+		// auctions keep the interval while others lose it, which creates
+		// LUP false positives on twigs demanding interval plus another
+		// dropped feature under one auction.
+		g.open("interval")
+		g.leaf("start", g.date())
+		g.leaf("end", g.date())
+		g.close("interval")
+	}
+	g.close("open_auction")
+}
+
+// --- closed auction ----------------------------------------------------
+
+func (g *gen) closedAuction(ord int) {
+	first := ord%maxEntitiesPerDoc == 0
+	het := g.class == Heterogeneous
+
+	g.open("closed_auction")
+	g.empty("seller", "person", g.personRef())
+	g.empty("buyer", "person", g.personRef())
+	g.empty("itemref", "item", ItemID(g.rng.Intn(ItemIDSpace)))
+	price := g.price()
+	if first && g.hasPriceMarker() {
+		price = g.priceIn(1000, 1100)
+	}
+	if g.class == Altered {
+		g.open("transaction")
+		g.leaf("price", price)
+		g.close("transaction")
+	} else {
+		g.leaf("price", price)
+	}
+	if !het || g.rng.Float64() > 0.3 {
+		g.leaf("date", g.date())
+	}
+	if !het || g.rng.Float64() > 0.4 {
+		g.leaf("type", pick(g.rng, "Regular", "Featured_", "Regular"))
+	}
+	g.open("annotation")
+	g.empty("author", "person", g.personRef())
+	g.open("description")
+	g.leaf("text", g.words(40, ""))
+	g.close("description")
+	g.close("annotation")
+	g.leaf("quantity", pick(g.rng, "1", "1", "2"))
+	g.close("closed_auction")
+}
+
+// --- category ----------------------------------------------------------
+
+func (g *gen) category(ord int) {
+	first := ord%maxEntitiesPerDoc == 0
+	var marker string
+	if first && g.hasCategoryMarker() {
+		marker = MarkerCategory
+	}
+	g.open("category", "id", CategoryID(ord))
+	g.leaf("name", g.words(2, marker))
+	if g.class != Heterogeneous || g.rng.Float64() > 0.5 {
+		g.open("description")
+		g.leaf("text", g.words(30, ""))
+		g.close("description")
+	}
+	g.close("category")
+}

@@ -1,0 +1,71 @@
+package xmark
+
+import "fmt"
+
+// This file provides the small paintings/museums corpus used by the paper's
+// running example (Figures 2 and 3): the documents "delacroix.xml" and
+// "manet.xml" verbatim, plus further painting and museum documents so that
+// all five sample queries of Figure 2 (including the value join q5) have
+// answers.
+
+// DelacroixXML and ManetXML are the two sample documents of Figure 3.
+const (
+	DelacroixXML = `<painting id="1854-1"><name>The Lion Hunt</name><painter><name><first>Eugene</first><last>Delacroix</last></name></painter></painting>`
+	ManetXML     = `<painting id="1863-1"><name>Olympia</name><painter><name><first>Edouard</first><last>Manet</last></name></painter></painting>`
+)
+
+type paintingSpec struct {
+	id, name, first, last, year, desc string
+}
+
+var paintingSpecs = []paintingSpec{
+	{"1854-2", "Christians Fleeing", "Eugene", "Delacroix", "1854", "A dramatic scene painted in oil on canvas"},
+	{"1862-1", "Music in the Tuileries", "Edouard", "Manet", "1862", "A crowd scene in the Tuileries garden"},
+	{"1863-2", "Le dejeuner sur lherbe", "Edouard", "Manet", "1863", "A luncheon on the grass that scandalized the Salon"},
+	{"1865-1", "The Races at Longchamp", "Edouard", "Manet", "1865", "Horses thunder toward the viewer at Longchamp"},
+	{"1872-1", "Impression Sunrise", "Claude", "Monet", "1872", "The harbor of Le Havre at sunrise"},
+	{"1830-1", "Liberty Leading the People", "Eugene", "Delacroix", "1830", "Liberty personified leads the July Revolution"},
+	{"1861-1", "The Lion Hunt Fragment", "Eugene", "Delacroix", "1861", "A surviving fragment of the great Lion hunt"},
+}
+
+type museumSpec struct {
+	name      string
+	paintings []string
+}
+
+var museumSpecs = []museumSpec{
+	{"Louvre", []string{"1830-1", "1854-2"}},
+	{"Musee dOrsay", []string{"1863-1", "1863-2", "1872-1"}},
+	{"National Gallery", []string{"1865-1", "1862-1", "1854-1"}},
+	{"Art Institute", []string{"1861-1", "1863-1"}},
+}
+
+// Paintings returns the example corpus: the two Figure 3 documents, the
+// additional painting documents (with year and description, exercised by
+// q2 and q4), and one document per museum (exercised by the value join q5).
+func Paintings() []Doc {
+	docs := []Doc{
+		{URI: "delacroix.xml", Data: []byte(DelacroixXML)},
+		{URI: "manet.xml", Data: []byte(ManetXML)},
+	}
+	for _, s := range paintingSpecs {
+		xml := fmt.Sprintf(
+			`<painting id=%q><name>%s</name><year>%s</year><description>%s</description>`+
+				`<painter><name><first>%s</first><last>%s</last></name></painter></painting>`,
+			s.id, s.name, s.year, s.desc, s.first, s.last)
+		docs = append(docs, Doc{URI: painterFile(s), Data: []byte(xml)})
+	}
+	for i, m := range museumSpecs {
+		xml := `<museum><name>` + m.name + `</name><collection>`
+		for _, p := range m.paintings {
+			xml += fmt.Sprintf(`<painting id=%q/>`, p)
+		}
+		xml += `</collection></museum>`
+		docs = append(docs, Doc{URI: fmt.Sprintf("museum-%d.xml", i+1), Data: []byte(xml)})
+	}
+	return docs
+}
+
+func painterFile(s paintingSpec) string {
+	return fmt.Sprintf("painting-%s.xml", s.id)
+}

@@ -1,0 +1,378 @@
+// Package xmltree parses XML documents into in-memory trees whose nodes
+// carry the (pre, post, depth) structural identifiers the paper's indexes
+// and structural joins are built on (Section 5, after [3]).
+//
+// Identifier assignment follows Figure 3 of the paper exactly:
+//
+//   - element, attribute and text nodes are all numbered;
+//   - pre is the preorder rank (1-based), assigned to an element before its
+//     attributes, which precede its element/text children in document order;
+//   - post is the postorder rank; attributes and text blobs are leaves;
+//   - depth starts at 1 for the root; attributes sit one level below their
+//     owner element;
+//   - a run of character data forms a single text node (the words of the
+//     text all share that node's identifier);
+//   - whitespace-only character data between elements is ignored.
+//
+// With these identifiers, n1 is an ancestor of n2 iff n1.pre < n2.pre and
+// n1.post > n2.post (the paper's Section 5 states "n1.post < n2.post",
+// which contradicts its own Figure 3 numbers; we follow the figure), and n1
+// is the parent of n2 iff additionally n1.depth+1 == n2.depth.
+package xmltree
+
+import (
+	"bytes"
+	"encoding/xml"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// NodeKind distinguishes the three node flavours the index sees.
+type NodeKind uint8
+
+const (
+	// Element is an XML element node.
+	Element NodeKind = iota
+	// Attribute is an XML attribute node.
+	Attribute
+	// Text is a run of character data.
+	Text
+)
+
+func (k NodeKind) String() string {
+	switch k {
+	case Element:
+		return "element"
+	case Attribute:
+		return "attribute"
+	case Text:
+		return "text"
+	default:
+		return fmt.Sprintf("NodeKind(%d)", uint8(k))
+	}
+}
+
+// NodeID is a (pre, post, depth) structural identifier.
+type NodeID struct {
+	Pre   int32
+	Post  int32
+	Depth int32
+}
+
+// String renders the identifier as the paper prints it, e.g. "(3, 3, 2)".
+func (id NodeID) String() string {
+	return fmt.Sprintf("(%d, %d, %d)", id.Pre, id.Post, id.Depth)
+}
+
+// IsAncestorOf reports whether the node identified by id is a strict
+// ancestor of the node identified by other (within the same document).
+func (id NodeID) IsAncestorOf(other NodeID) bool {
+	return id.Pre < other.Pre && id.Post > other.Post
+}
+
+// IsParentOf reports whether id identifies the parent of other.
+func (id NodeID) IsParentOf(other NodeID) bool {
+	return id.IsAncestorOf(other) && id.Depth+1 == other.Depth
+}
+
+// Less orders identifiers by pre rank (document order).
+func (id NodeID) Less(other NodeID) bool { return id.Pre < other.Pre }
+
+// Node is one tree node.
+type Node struct {
+	Kind NodeKind
+	// Label is the element or attribute name; empty for text nodes.
+	Label string
+	// Text is the character data of a Text node or the value of an
+	// Attribute node; empty for elements.
+	Text string
+	ID   NodeID
+
+	Parent *Node
+	// Children lists attribute nodes first, then element and text
+	// children in document order.
+	Children []*Node
+}
+
+// Document is a parsed XML document.
+type Document struct {
+	// URI identifies the document in the warehouse (URI(d) in the paper).
+	URI  string
+	Root *Node
+	// SourceBytes is the size of the serialized input, the s(D)
+	// contribution of this document.
+	SourceBytes int64
+
+	nodes   []*Node // in pre order; nodes[pre-1]
+	byLabel map[string][]*Node
+}
+
+// Parse errors.
+var (
+	ErrEmptyDocument = errors.New("xmltree: document has no root element")
+)
+
+// Parse builds the tree for one document.
+func Parse(uri string, data []byte) (*Document, error) {
+	dec := xml.NewDecoder(bytes.NewReader(data))
+	doc := &Document{URI: uri, SourceBytes: int64(len(data))}
+
+	var (
+		stack   []*Node
+		pre     int32
+		post    int32
+		pending strings.Builder // accumulated character data
+	)
+
+	flushText := func() {
+		if pending.Len() == 0 {
+			return
+		}
+		s := pending.String()
+		pending.Reset()
+		if strings.TrimSpace(s) == "" {
+			return
+		}
+		if len(stack) == 0 {
+			return // character data outside the root: ignore
+		}
+		parent := stack[len(stack)-1]
+		pre++
+		post++
+		n := &Node{
+			Kind:   Text,
+			Text:   s,
+			ID:     NodeID{Pre: pre, Post: post, Depth: parent.ID.Depth + 1},
+			Parent: parent,
+		}
+		parent.Children = append(parent.Children, n)
+		doc.nodes = append(doc.nodes, n)
+	}
+
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("xmltree: parsing %s: %w", uri, err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			flushText()
+			if doc.Root != nil && len(stack) == 0 {
+				return nil, fmt.Errorf("xmltree: parsing %s: multiple root elements", uri)
+			}
+			var parent *Node
+			depth := int32(1)
+			if len(stack) > 0 {
+				parent = stack[len(stack)-1]
+				depth = parent.ID.Depth + 1
+			}
+			pre++
+			el := &Node{
+				Kind:   Element,
+				Label:  t.Name.Local,
+				ID:     NodeID{Pre: pre, Depth: depth},
+				Parent: parent,
+			}
+			if parent != nil {
+				parent.Children = append(parent.Children, el)
+			} else {
+				doc.Root = el
+			}
+			doc.nodes = append(doc.nodes, el)
+			for _, a := range t.Attr {
+				if a.Name.Space == "xmlns" || a.Name.Local == "xmlns" {
+					continue
+				}
+				pre++
+				post++
+				an := &Node{
+					Kind:   Attribute,
+					Label:  a.Name.Local,
+					Text:   a.Value,
+					ID:     NodeID{Pre: pre, Post: post, Depth: depth + 1},
+					Parent: el,
+				}
+				el.Children = append(el.Children, an)
+				doc.nodes = append(doc.nodes, an)
+			}
+			stack = append(stack, el)
+		case xml.EndElement:
+			flushText()
+			el := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			post++
+			el.ID.Post = post
+		case xml.CharData:
+			pending.Write(t)
+		default:
+			// Comments, directives and processing instructions carry no
+			// indexable content.
+		}
+	}
+	if doc.Root == nil {
+		return nil, fmt.Errorf("%w: %s", ErrEmptyDocument, uri)
+	}
+	return doc, nil
+}
+
+// NodeCount returns the number of nodes (elements, attributes, texts).
+func (d *Document) NodeCount() int { return len(d.nodes) }
+
+// Nodes returns all nodes in document (pre) order. The slice is shared;
+// callers must not modify it.
+func (d *Document) Nodes() []*Node { return d.nodes }
+
+// NodeByPre returns the node with the given pre rank (1-based), or nil.
+func (d *Document) NodeByPre(pre int32) *Node {
+	if pre < 1 || int(pre) > len(d.nodes) {
+		return nil
+	}
+	return d.nodes[pre-1]
+}
+
+// NodesByLabel returns the element or attribute nodes carrying the given
+// label, in document order. Text nodes, having no label, are returned for
+// label "". The result is memoized; callers must not modify it.
+func (d *Document) NodesByLabel(label string) []*Node {
+	if d.byLabel == nil {
+		d.byLabel = make(map[string][]*Node)
+		for _, n := range d.nodes {
+			d.byLabel[n.Label] = append(d.byLabel[n.Label], n)
+		}
+	}
+	return d.byLabel[label]
+}
+
+// Value returns the string value of a node as defined in Section 4 of the
+// paper: for an element, the concatenation of all its text descendants in
+// document order; for an attribute or text node, its own text.
+func (n *Node) Value() string {
+	switch n.Kind {
+	case Attribute, Text:
+		return n.Text
+	}
+	var b strings.Builder
+	n.appendText(&b)
+	return b.String()
+}
+
+func (n *Node) appendText(b *strings.Builder) {
+	if n.Kind == Text {
+		b.WriteString(n.Text)
+		return
+	}
+	for _, c := range n.Children {
+		if c.Kind == Attribute {
+			continue
+		}
+		c.appendText(b)
+	}
+}
+
+// Content serializes the full XML subtree rooted at n, the granularity
+// returned for a `cont` annotation.
+func (n *Node) Content() string {
+	var b strings.Builder
+	n.writeXML(&b)
+	return b.String()
+}
+
+func (n *Node) writeXML(b *strings.Builder) {
+	switch n.Kind {
+	case Text:
+		xml.EscapeText(b, []byte(n.Text))
+	case Attribute:
+		b.WriteString(n.Label)
+		b.WriteString(`="`)
+		xml.EscapeText(b, []byte(n.Text))
+		b.WriteString(`"`)
+	case Element:
+		b.WriteString("<")
+		b.WriteString(n.Label)
+		var rest []*Node
+		for _, c := range n.Children {
+			if c.Kind == Attribute {
+				b.WriteString(" ")
+				c.writeXML(b)
+			} else {
+				rest = append(rest, c)
+			}
+		}
+		if len(rest) == 0 {
+			b.WriteString("/>")
+			return
+		}
+		b.WriteString(">")
+		for _, c := range rest {
+			c.writeXML(b)
+		}
+		b.WriteString("</")
+		b.WriteString(n.Label)
+		b.WriteString(">")
+	}
+}
+
+// Path returns the nodes on the label path from the document root down to n,
+// inclusive (the inPath(n) of Section 5). Text nodes contribute themselves
+// as the last step.
+func (n *Node) Path() []*Node {
+	var rev []*Node
+	for cur := n; cur != nil; cur = cur.Parent {
+		rev = append(rev, cur)
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// Words splits a string value into the words under which full-text (w‖word)
+// index keys are created: maximal runs of letters and digits. Matching is
+// case-sensitive, as in the paper's examples (wOlympia, w1854).
+func Words(s string) []string {
+	var words []string
+	start := -1
+	for i, r := range s {
+		if isWordRune(r) {
+			if start < 0 {
+				start = i
+			}
+			continue
+		}
+		if start >= 0 {
+			words = append(words, s[start:i])
+			start = -1
+		}
+	}
+	if start >= 0 {
+		words = append(words, s[start:])
+	}
+	return words
+}
+
+// ContainsWord reports whether the word w occurs in the value s, the
+// semantics of the contains(c) predicate.
+func ContainsWord(s, w string) bool {
+	for _, got := range Words(s) {
+		if got == w {
+			return true
+		}
+	}
+	return false
+}
+
+func isWordRune(r rune) bool {
+	switch {
+	case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+		return true
+	case r == '-', r == '_':
+		// Keep identifiers like "1863-1" (Figure 3's aid 1863-1) whole.
+		return true
+	}
+	return r > 127 // non-ASCII letters kept whole
+}

@@ -1,0 +1,225 @@
+package xquery
+
+import (
+	"fmt"
+
+	"repro/internal/pattern"
+)
+
+// translate lowers the parsed FLWR clauses onto tree patterns with value
+// joins. Every use of a variable path (in a condition or the return
+// clause) grows a fresh branch under the variable's node, which matches
+// XQuery semantics: each path expression iterates independently.
+func translate(binds []binding, conds []cond, rets []retItem) (*pattern.Query, error) {
+	q := &pattern.Query{}
+	vars := map[string]*pattern.Node{}
+	patternOf := map[string]int{}
+
+	for _, b := range binds {
+		if _, dup := vars[b.varName]; dup {
+			return nil, fmt.Errorf("variable $%s bound twice", b.varName)
+		}
+		for _, s := range b.steps {
+			if s.isText {
+				return nil, fmt.Errorf("$%s: cannot bind a variable to text()", b.varName)
+			}
+		}
+		if b.relTo == "" {
+			root, leaf, err := chain(b.steps)
+			if err != nil {
+				return nil, err
+			}
+			q.Patterns = append(q.Patterns, &pattern.Tree{Root: root})
+			vars[b.varName] = leaf
+			patternOf[b.varName] = len(q.Patterns) - 1
+			continue
+		}
+		base, ok := vars[b.relTo]
+		if !ok {
+			return nil, fmt.Errorf("$%s bound relative to undefined $%s", b.varName, b.relTo)
+		}
+		if base.IsAttr {
+			return nil, fmt.Errorf("$%s: cannot navigate below attribute variable $%s", b.varName, b.relTo)
+		}
+		leaf, err := extend(base, b.steps)
+		if err != nil {
+			return nil, err
+		}
+		vars[b.varName] = leaf
+		patternOf[b.varName] = patternOf[b.relTo]
+	}
+
+	// Range bounds accumulate per node before becoming one predicate.
+	type bounds struct {
+		lo, hi             string
+		loStrict, hiStrict bool
+		hasLo, hasHi       bool
+	}
+	ranges := map[*pattern.Node]*bounds{}
+	joinSeq := 0
+
+	resolve := func(o operand) (*pattern.Node, error) {
+		base, ok := vars[o.varName]
+		if !ok {
+			return nil, fmt.Errorf("undefined variable $%s", o.varName)
+		}
+		steps := o.steps
+		if n := len(steps); n > 0 && steps[n-1].isText {
+			steps = steps[:n-1] // predicates read the string value anyway
+		}
+		if len(steps) == 0 {
+			return base, nil
+		}
+		if base.IsAttr {
+			return nil, fmt.Errorf("cannot navigate below attribute variable $%s", o.varName)
+		}
+		return extend(base, steps)
+	}
+	setPred := func(n *pattern.Node, p pattern.Pred) error {
+		if n.Pred.Kind != pattern.NoPred {
+			return fmt.Errorf("conflicting predicates on one path; bind an extra variable instead")
+		}
+		n.Pred = p
+		return nil
+	}
+
+	for _, c := range conds {
+		switch {
+		case c.op == "contains":
+			if !c.l.isVar || c.r.isVar {
+				return nil, fmt.Errorf("contains() needs a variable path and a literal")
+			}
+			n, err := resolve(c.l)
+			if err != nil {
+				return nil, err
+			}
+			if err := setPred(n, pattern.Pred{Kind: pattern.Contains, Const: c.r.lit}); err != nil {
+				return nil, err
+			}
+		case c.l.isVar && c.r.isVar:
+			if c.op != "=" {
+				return nil, fmt.Errorf("only equality joins are in the fragment (got %q)", c.op)
+			}
+			ln, err := resolve(c.l)
+			if err != nil {
+				return nil, err
+			}
+			rn, err := resolve(c.r)
+			if err != nil {
+				return nil, err
+			}
+			for _, n := range []*pattern.Node{ln, rn} {
+				if n.Var == "" {
+					n.Var = fmt.Sprintf("xq%d", joinSeq)
+					joinSeq++
+				}
+			}
+			q.Joins = append(q.Joins, pattern.JoinCond{A: ln.Var, B: rn.Var})
+		case c.l.isVar || c.r.isVar:
+			v, lit, op := c.l, c.r.lit, c.op
+			if c.r.isVar {
+				v, lit = c.r, c.l.lit
+				op = flip(op)
+			}
+			n, err := resolve(v)
+			if err != nil {
+				return nil, err
+			}
+			if op == "=" {
+				if err := setPred(n, pattern.Pred{Kind: pattern.Eq, Const: lit}); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			b := ranges[n]
+			if b == nil {
+				b = &bounds{}
+				ranges[n] = b
+			}
+			switch op {
+			case "<":
+				b.hi, b.hiStrict, b.hasHi = lit, true, true
+			case "<=":
+				b.hi, b.hiStrict, b.hasHi = lit, false, true
+			case ">":
+				b.lo, b.loStrict, b.hasLo = lit, true, true
+			case ">=":
+				b.lo, b.loStrict, b.hasLo = lit, false, true
+			}
+		default:
+			return nil, fmt.Errorf("condition between two literals")
+		}
+	}
+	for n, b := range ranges {
+		if err := setPred(n, pattern.Pred{
+			Kind: pattern.Range,
+			Lo:   b.lo, Hi: b.hi,
+			LoStrict: b.loStrict, HiStrict: b.hiStrict,
+		}); err != nil {
+			return nil, err
+		}
+	}
+
+	for _, r := range rets {
+		n, err := resolve(operand{isVar: true, varName: r.varName, steps: r.steps})
+		if err != nil {
+			return nil, err
+		}
+		if r.val || n.IsAttr {
+			n.Val = true
+		} else {
+			n.Cont = true
+		}
+	}
+	if len(rets) == 0 {
+		return nil, fmt.Errorf("empty return clause")
+	}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+func flip(op string) string {
+	switch op {
+	case "<":
+		return ">"
+	case "<=":
+		return ">="
+	case ">":
+		return "<"
+	case ">=":
+		return "<="
+	}
+	return op
+}
+
+// chain builds a fresh node chain from steps and returns (root, leaf).
+func chain(steps []step) (*pattern.Node, *pattern.Node, error) {
+	var root, cur *pattern.Node
+	for _, s := range steps {
+		if s.isText {
+			return nil, nil, fmt.Errorf("text() is only allowed at the end of a return path")
+		}
+		n := &pattern.Node{Label: s.label, IsAttr: s.isAttr, Axis: s.axis}
+		if cur == nil {
+			root = n
+		} else {
+			n.Parent = cur
+			cur.Children = append(cur.Children, n)
+		}
+		cur = n
+	}
+	return root, cur, nil
+}
+
+// extend grows a fresh branch of steps under base and returns the leaf.
+func extend(base *pattern.Node, steps []step) (*pattern.Node, error) {
+	root, leaf, err := chain(steps)
+	if err != nil {
+		return nil, err
+	}
+	root.Parent = base
+	base.Children = append(base.Children, root)
+	return leaf, nil
+}
