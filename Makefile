@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: build test race vet bench check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# check is the CI gate: static analysis plus the full suite under the race
+# detector (the parallel query pipeline is enabled by default, so every test
+# exercises the concurrent paths).
+check: vet race
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run xxx ./...

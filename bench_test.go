@@ -16,6 +16,7 @@ import (
 	"repro/internal/cloud/dynamodb"
 	"repro/internal/cloud/ec2"
 	"repro/internal/cloud/kv"
+	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/index"
 	"repro/internal/meter"
@@ -298,6 +299,80 @@ func BenchmarkLookup(b *testing.B) {
 		})
 	}
 	_ = c
+}
+
+// BenchmarkLookupPattern compares the sequential, parallel and cached index
+// look-up paths on the same loaded store. Results are identical across
+// sub-benchmarks by construction (see internal/index/parallel_test.go);
+// only real wall-clock time differs.
+func BenchmarkLookupPattern(b *testing.B) {
+	_, env, _ := benchSetup(b)
+	q := workload.XMark()[3].Parse().Patterns[0]
+	for _, s := range index.All() {
+		w := env.Warehouse(bench.AccessPath(s.Name()))
+		variants := []struct {
+			name string
+			opts index.LookupOptions
+		}{
+			{"seq", index.LookupOptions{Concurrency: 1}},
+			{"par8", index.LookupOptions{Concurrency: 8}},
+			{"cached", index.LookupOptions{Concurrency: 8, Cache: index.NewPostingCache(index.DefaultCacheBytes)}},
+		}
+		for _, v := range variants {
+			b.Run(s.Name()+"/"+v.name, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, _, err := index.LookupPattern(w.Store(), s, q, v.opts); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkProcessQuery runs the full query pipeline (steps 8-18) under the
+// sequential document pipeline, the parallel worker pool, and the pool plus
+// posting cache. The modeled response time is identical in all three; the
+// metric of interest is the real ns/op.
+func BenchmarkProcessQuery(b *testing.B) {
+	c, _, _ := benchSetup(b)
+	query := workload.XMark()[3].Text
+	variants := []struct {
+		name string
+		cfg  core.Config
+	}{
+		{"seq", core.Config{Strategy: index.TwoLUPI, QueryWorkers: 1, QueryLookupConcurrency: 1}},
+		{"par8", core.Config{Strategy: index.TwoLUPI, QueryWorkers: 8, QueryLookupConcurrency: 8}},
+		{"par8-cached", core.Config{Strategy: index.TwoLUPI, QueryWorkers: 8, QueryLookupConcurrency: 8,
+			PostingCacheBytes: index.DefaultCacheBytes}},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			w, err := core.New(v.cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, d := range c.Docs {
+				if err := w.SubmitDocument(d.URI, d.Data); err != nil {
+					b.Fatal(err)
+				}
+			}
+			fleet := ec2.LaunchFleet(w.Ledger(), ec2.Large, 1)
+			if _, err := w.IndexCorpusOn(fleet, nil); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			var modeled float64
+			for i := 0; i < b.N; i++ {
+				_, stats, err := w.RunQueryOn(fleet[0], query, true)
+				if err != nil {
+					b.Fatal(err)
+				}
+				modeled += stats.ResponseTime.Seconds()
+			}
+			b.ReportMetric(modeled/float64(b.N), "modeled-s")
+		})
+	}
 }
 
 func BenchmarkEvalPattern(b *testing.B) {

@@ -26,6 +26,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 
 	"repro/internal/cloud/dynamodb"
@@ -120,6 +121,21 @@ type Config struct {
 	Seed int64
 	// Ledger receives all metering; a fresh one is created when nil.
 	Ledger *meter.Ledger
+
+	// QueryWorkers bounds the worker pool that fetches, parses and
+	// evaluates candidate documents during one query (step 13 of
+	// Figure 1). 0 selects runtime.NumCPU(); 1 runs the sequential path.
+	// Results and modeled times are identical at every setting — only real
+	// wall-clock time changes.
+	QueryWorkers int
+	// LookupConcurrency bounds the index look-up fan-out (parallel
+	// batch-gets and twig joins). 0 selects GOMAXPROCS; 1 is sequential.
+	QueryLookupConcurrency int
+	// PostingCacheBytes enables a hot-key posting cache of roughly that
+	// many bytes in front of the index store. 0 disables it — the cache
+	// changes the billed quantities of repeated look-ups (hits cost no
+	// GetOps), so the paper-reproduction experiments run without it.
+	PostingCacheBytes int64
 }
 
 // Warehouse wires the cloud services of Figure 1 together.
@@ -128,6 +144,9 @@ type Warehouse struct {
 	Perf     PerfModel
 
 	compressPaths bool
+	queryWorkers  int
+	lookupOpts    index.LookupOptions
+	cache         *index.PostingCache
 
 	ledger *meter.Ledger
 	files  *s3.Service
@@ -135,8 +154,9 @@ type Warehouse struct {
 	queues *sqs.Service
 	uuids  *index.UUIDGen
 
-	mu       sync.Mutex
-	querySeq int
+	mu        sync.Mutex
+	querySeq  int
+	workerSeq int
 }
 
 // New provisions the warehouse's bucket, queues and index tables.
@@ -158,11 +178,17 @@ func New(cfg Config) (*Warehouse, error) {
 		Strategy:      cfg.Strategy,
 		Perf:          cfg.Perf.withDefaults(),
 		compressPaths: cfg.CompressPaths,
+		queryWorkers:  cfg.QueryWorkers,
+		lookupOpts:    index.LookupOptions{Concurrency: cfg.QueryLookupConcurrency},
 		ledger:        ledger,
 		files:         s3.New(ledger),
 		store:         store,
 		queues:        sqs.New(ledger),
 		uuids:         index.NewUUIDGen(cfg.Seed + 1),
+	}
+	if cfg.PostingCacheBytes > 0 {
+		w.cache = index.NewPostingCache(cfg.PostingCacheBytes)
+		w.lookupOpts.Cache = w.cache
 	}
 	if err := w.files.CreateBucket(Bucket); err != nil {
 		return nil, err
@@ -249,4 +275,25 @@ func (w *Warehouse) nextQueryID() string {
 	defer w.mu.Unlock()
 	w.querySeq++
 	return fmt.Sprintf("q-%06d", w.querySeq)
+}
+
+// PostingCache exposes the hot-key posting cache, or nil when disabled.
+func (w *Warehouse) PostingCache() *index.PostingCache { return w.cache }
+
+// docWorkers is the effective step-13 worker-pool size.
+func (w *Warehouse) docWorkers() int {
+	if w.queryWorkers > 0 {
+		return w.queryWorkers
+	}
+	return runtime.NumCPU()
+}
+
+// forkWorkerUUIDs hands the next live worker its own identifier generator,
+// so concurrent loaders never contend on one PRNG lock (and, for a fixed
+// worker count, stay reproducible).
+func (w *Warehouse) forkWorkerUUIDs() *index.UUIDGen {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.workerSeq++
+	return w.uuids.Fork(w.workerSeq)
 }

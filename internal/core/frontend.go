@@ -186,6 +186,7 @@ func (o WorkerOptions) withDefaults() WorkerOptions {
 func (w *Warehouse) StartIndexer(in *ec2.Instance, opts WorkerOptions) *Worker {
 	opts = opts.withDefaults()
 	wk := newWorker(in)
+	uuids := w.forkWorkerUUIDs()
 	wk.done.Add(1)
 	go func() {
 		defer wk.done.Done()
@@ -204,7 +205,7 @@ func (w *Warehouse) StartIndexer(in *ec2.Instance, opts WorkerOptions) *Worker {
 				stopRenew()
 				return
 			}
-			res, err := w.indexDocument(in, msg.Body)
+			res, err := w.indexDocument(in, msg.Body, uuids)
 			stopRenew()
 			if wk.crashedNow() {
 				return

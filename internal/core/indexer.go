@@ -25,8 +25,11 @@ type IndexTaskResult struct {
 }
 
 // indexDocument performs the work of one loader message on one instance
-// core. The returned durations are modeled; the caller schedules them.
-func (w *Warehouse) indexDocument(in *ec2.Instance, uri string) (IndexTaskResult, error) {
+// core, stamping new items with identifiers from uuids (the warehouse
+// generator for the synchronous drivers; a forked per-worker generator in
+// the live loops, so concurrent loaders never contend on one PRNG lock).
+// The returned durations are modeled; the caller schedules them.
+func (w *Warehouse) indexDocument(in *ec2.Instance, uri string, uuids *index.UUIDGen) (IndexTaskResult, error) {
 	res := IndexTaskResult{URI: uri}
 	obj, fetch, err := w.files.Get(Bucket, DocKey(uri))
 	if err != nil {
@@ -41,7 +44,7 @@ func (w *Warehouse) indexDocument(in *ec2.Instance, uri string) (IndexTaskResult
 	res.ExtractTime = fetch +
 		in.ComputeDuration(res.DocBytes, w.Perf.ParseBytesPerECUSec) +
 		in.ComputeDuration(ex.Bytes, w.Perf.ExtractBytesPerECUSec)
-	upload, stats, err := index.WriteExtraction(w.store, ex, w.uuids)
+	upload, stats, err := index.WriteExtraction(w.store, ex, uuids, w.cache)
 	if err != nil {
 		return res, err
 	}
@@ -110,7 +113,7 @@ func (w *Warehouse) IndexCorpusOn(fleet []*ec2.Instance, uris []string) (IndexRe
 			break
 		}
 		in := fleet[i%len(fleet)]
-		res, err := w.indexDocument(in, msg.Body)
+		res, err := w.indexDocument(in, msg.Body, w.uuids)
 		if err != nil {
 			return report, fmt.Errorf("core: indexing %s: %w", msg.Body, err)
 		}
@@ -159,7 +162,7 @@ func (w *Warehouse) RemoveDocument(in *ec2.Instance, uri string) error {
 		return err
 	}
 	parse := in.ComputeDuration(int64(len(obj.Data)), w.Perf.ParseBytesPerECUSec)
-	dels, _, err := index.DeleteDocument(w.store, w.Strategy, doc, w.indexOptions())
+	dels, _, err := index.DeleteDocument(w.store, w.Strategy, doc, w.indexOptions(), w.cache)
 	if err != nil {
 		return err
 	}

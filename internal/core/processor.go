@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/cloud/ec2"
@@ -92,7 +93,7 @@ func (w *Warehouse) processQuery(in *ec2.Instance, msg queryMessage) (*engine.Re
 			perPattern[i] = uris
 		}
 	} else {
-		sets, lst, err := index.LookupQuery(w.store, w.Strategy, q)
+		sets, lst, err := index.LookupQuery(w.store, w.Strategy, q, w.lookupOpts)
 		if err != nil {
 			return nil, stats, err
 		}
@@ -122,22 +123,27 @@ func (w *Warehouse) processQuery(in *ec2.Instance, msg queryMessage) (*engine.Re
 	sort.Strings(uris)
 	stats.DocsFetched = len(uris)
 
+	// The real fetch + parse work fans out over a bounded worker pool with
+	// first-error-wins cancellation; the modeled time is then scheduled on
+	// the instance in URI order, so modeled times, billing and error
+	// reporting are identical to the sequential pipeline at any pool size.
+	fetched, ferr := w.fetchDocuments(uris)
 	docs := make(map[string]*xmltree.Document, len(uris))
-	for _, uri := range uris {
-		obj, fetch, err := w.files.Get(Bucket, DocKey(uri))
-		if err != nil {
-			return nil, stats, err
+	for i, r := range fetched {
+		if r.err != nil {
+			return nil, stats, r.err
 		}
-		doc, err := xmltree.Parse(uri, obj.Data)
-		if err != nil {
-			return nil, stats, err
-		}
-		docs[uri] = doc
-		task := fetch +
-			in.ComputeDuration(int64(len(obj.Data)), w.Perf.ParseBytesPerECUSec) +
-			in.ComputeDuration(int64(len(obj.Data)), w.Perf.EvalBytesPerECUSec)
+		docs[uris[i]] = r.doc
+		task := r.fetch +
+			in.ComputeDuration(r.bytes, w.Perf.ParseBytesPerECUSec) +
+			in.ComputeDuration(r.bytes, w.Perf.EvalBytesPerECUSec)
 		stats.FetchEvalTime += task
 		in.Run(task)
+	}
+	if ferr != nil {
+		// Unreachable in practice (a recorded error surfaces above), but
+		// never let a cancelled pool pass silently.
+		return nil, stats, ferr
 	}
 	docSets := make([][]*xmltree.Document, len(perPattern))
 	for i, us := range perPattern {
@@ -145,7 +151,7 @@ func (w *Warehouse) processQuery(in *ec2.Instance, msg queryMessage) (*engine.Re
 			docSets[i] = append(docSets[i], docs[u])
 		}
 	}
-	result, err := engine.EvalQueryOnDocSets(q, docSets)
+	result, err := engine.EvalQueryOnDocSets(q, docSets, w.docWorkers())
 	if err != nil {
 		return nil, stats, err
 	}
@@ -163,6 +169,86 @@ func (w *Warehouse) processQuery(in *ec2.Instance, msg queryMessage) (*engine.Re
 	in.TL.Level()
 	stats.ResponseTime = in.TL.Elapsed() - t0
 	return result, stats, nil
+}
+
+// fetchedDoc is the outcome of one step-13 task: the parsed document plus
+// the modeled quantities the coordinator schedules afterwards.
+type fetchedDoc struct {
+	doc   *xmltree.Document
+	fetch time.Duration
+	bytes int64
+	err   error
+}
+
+// fetchDocuments retrieves and parses the candidate documents, one task per
+// URI, on a pool of at most docWorkers goroutines. The first failing task
+// (in URI order — the order the sequential pipeline would hit it) closes a
+// cancel channel, so no new tasks start after an error. The returned error
+// only signals that cancellation fired; callers scan the slice in order for
+// the authoritative per-URI error.
+func (w *Warehouse) fetchDocuments(uris []string) ([]fetchedDoc, error) {
+	results := make([]fetchedDoc, len(uris))
+	fetchOne := func(i int) error {
+		obj, fetch, err := w.files.Get(Bucket, DocKey(uris[i]))
+		if err != nil {
+			results[i].err = err
+			return err
+		}
+		doc, err := xmltree.Parse(uris[i], obj.Data)
+		if err != nil {
+			results[i].err = err
+			return err
+		}
+		results[i] = fetchedDoc{doc: doc, fetch: fetch, bytes: int64(len(obj.Data))}
+		return nil
+	}
+
+	workers := w.docWorkers()
+	if workers > len(uris) {
+		workers = len(uris)
+	}
+	if workers <= 1 {
+		for i := range uris {
+			if err := fetchOne(i); err != nil {
+				return results, err
+			}
+		}
+		return results, nil
+	}
+
+	var (
+		wg     sync.WaitGroup
+		once   sync.Once
+		cancel = make(chan struct{})
+		idx    = make(chan int)
+	)
+	for p := 0; p < workers; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				if err := fetchOne(i); err != nil {
+					once.Do(func() { close(cancel) })
+				}
+			}
+		}()
+	}
+feed:
+	for i := range uris {
+		select {
+		case idx <- i:
+		case <-cancel:
+			break feed
+		}
+	}
+	close(idx)
+	wg.Wait()
+	select {
+	case <-cancel:
+		return results, fmt.Errorf("core: document fetch cancelled")
+	default:
+		return results, nil
+	}
 }
 
 // ParseQueryText compiles a query in either supported surface syntax: the

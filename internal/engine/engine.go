@@ -14,7 +14,9 @@ package engine
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
+	"sync"
 
 	"repro/internal/pattern"
 	"repro/internal/xmltree"
@@ -206,7 +208,13 @@ func EvalQueryOnDocs(q *pattern.Query, docs []*xmltree.Document) (*Result, error
 
 // EvalQueryOnDocSets evaluates pattern i over docSets[i] and applies the
 // query's value joins across the per-pattern results.
-func EvalQueryOnDocSets(q *pattern.Query, docSets [][]*xmltree.Document) (*Result, error) {
+//
+// The per-(pattern, document) evaluations are independent reads of
+// immutable structures, so they run on a bounded worker pool; the optional
+// trailing argument caps its size (0 or absent selects GOMAXPROCS, 1 runs
+// sequentially). Rows are reassembled in (pattern, document) order, so the
+// result is identical at every concurrency level.
+func EvalQueryOnDocSets(q *pattern.Query, docSets [][]*xmltree.Document, workers ...int) (*Result, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
@@ -215,16 +223,7 @@ func EvalQueryOnDocSets(q *pattern.Query, docSets [][]*xmltree.Document) (*Resul
 	}
 	p := newPlan(q)
 
-	perPattern := make([][]Row, len(q.Patterns))
-	for pi := range q.Patterns {
-		var rows []Row
-		for _, doc := range docSets[pi] {
-			for _, cols := range p.evalPattern(pi, doc) {
-				rows = append(rows, Row{URI: doc.URI, Cols: cols})
-			}
-		}
-		perPattern[pi] = dedup(rows)
-	}
+	perPattern := evalDocSets(p, docSets, evalWorkers(workers))
 
 	joined, err := p.joinPatterns(perPattern)
 	if err != nil {
@@ -236,6 +235,70 @@ func EvalQueryOnDocSets(q *pattern.Query, docSets [][]*xmltree.Document) (*Resul
 		out = append(out, Row{URI: r.URI, Cols: r.Cols[:p.visible]})
 	}
 	return &Result{Columns: ColumnNames(q), Rows: dedup(out)}, nil
+}
+
+// evalWorkers resolves the optional trailing worker count of
+// EvalQueryOnDocSets.
+func evalWorkers(workers []int) int {
+	if len(workers) > 0 && workers[0] > 0 {
+		return workers[0]
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// evalDocSets runs every (pattern, document) evaluation, fanning the tasks
+// out over at most `workers` goroutines, and returns the deduplicated rows
+// of each pattern with documents contributing in docSets order.
+func evalDocSets(p *plan, docSets [][]*xmltree.Document, workers int) [][]Row {
+	type task struct{ pi, di int }
+	var tasks []task
+	for pi, docs := range docSets {
+		for di := range docs {
+			tasks = append(tasks, task{pi, di})
+		}
+	}
+	rowsOf := make([][][]string, len(tasks))
+	run := func(ti int) {
+		t := tasks[ti]
+		rowsOf[ti] = p.evalPattern(t.pi, docSets[t.pi][t.di])
+	}
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	if workers <= 1 {
+		for ti := range tasks {
+			run(ti)
+		}
+	} else {
+		var wg sync.WaitGroup
+		idx := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for ti := range idx {
+					run(ti)
+				}
+			}()
+		}
+		for ti := range tasks {
+			idx <- ti
+		}
+		close(idx)
+		wg.Wait()
+	}
+
+	perPattern := make([][]Row, len(docSets))
+	for ti, t := range tasks {
+		doc := docSets[t.pi][t.di]
+		for _, cols := range rowsOf[ti] {
+			perPattern[t.pi] = append(perPattern[t.pi], Row{URI: doc.URI, Cols: cols})
+		}
+	}
+	for pi := range perPattern {
+		perPattern[pi] = dedup(perPattern[pi])
+	}
+	return perPattern
 }
 
 // evalPattern returns the column tuples of one pattern over one document.

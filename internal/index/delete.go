@@ -23,8 +23,16 @@ type DeleteStats struct {
 
 // DeleteDocument removes every index item of the document under the
 // strategy. It is idempotent: deleting an unindexed document is a no-op.
-func DeleteDocument(store kv.Store, s Strategy, doc *xmltree.Document, opts Options) (time.Duration, DeleteStats, error) {
+// Any posting caches fronting the store must be passed so their entries for
+// the touched keys are invalidated (even on error, since some items may
+// already be gone).
+func DeleteDocument(store kv.Store, s Strategy, doc *xmltree.Document, opts Options, caches ...*PostingCache) (time.Duration, DeleteStats, error) {
 	ex := Extract(s, doc, opts)
+	defer func() {
+		for _, c := range caches {
+			c.InvalidateExtraction(ex)
+		}
+	}()
 	var (
 		total time.Duration
 		st    DeleteStats

@@ -2,7 +2,9 @@ package index
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/cloud/kv"
@@ -23,7 +25,9 @@ import (
 
 // LookupStats aggregates the cost-relevant facts of one look-up.
 type LookupStats struct {
-	// GetOps is |op(q,D,I)|: the number of index keys looked up.
+	// GetOps is |op(q,D,I)|: the number of index keys looked up against
+	// the store. Keys served from a posting cache do not count — a cache
+	// hit issues no billed request (Section 7's cost model).
 	GetOps int64
 	// GetTime is the modeled index-store latency (the "DynamoDB get" bar
 	// of Figure 9b/c).
@@ -37,6 +41,11 @@ type LookupStats struct {
 	// effect of 2LUPI's semijoin reduction (Figure 5): the reduction
 	// shrinks this number relative to plain LUI.
 	TwigCandidates int
+	// CacheHits, CacheMisses and CacheEvictions report the posting-cache
+	// traffic of the look-up (all zero when no cache is configured).
+	CacheHits      int64
+	CacheMisses    int64
+	CacheEvictions int64
 }
 
 func (s *LookupStats) add(o LookupStats) {
@@ -44,15 +53,62 @@ func (s *LookupStats) add(o LookupStats) {
 	s.GetTime += o.GetTime
 	s.BytesFetched += o.BytesFetched
 	s.TwigCandidates += o.TwigCandidates
+	s.CacheHits += o.CacheHits
+	s.CacheMisses += o.CacheMisses
+	s.CacheEvictions += o.CacheEvictions
+}
+
+// statsFromRead folds a ReadKeys summary into look-up statistics.
+func statsFromRead(rs ReadStats) LookupStats {
+	return LookupStats{
+		GetOps:         rs.GetOps,
+		GetTime:        rs.GetTime,
+		BytesFetched:   rs.Bytes,
+		CacheHits:      rs.CacheHits,
+		CacheMisses:    rs.CacheMisses,
+		CacheEvictions: rs.CacheEvictions,
+	}
+}
+
+// LookupOptions tunes the execution of a look-up without changing its
+// result: any concurrency level and any cache state return byte-identical
+// URI lists.
+type LookupOptions struct {
+	// Concurrency bounds the worker pool that fans out index batch-gets
+	// and per-candidate twig joins. 0 selects GOMAXPROCS; 1 runs the
+	// sequential path.
+	Concurrency int
+	// Cache, when non-nil, is consulted before the store and filled with
+	// fetched postings. The same cache must not front two different
+	// stores.
+	Cache *PostingCache
+}
+
+// resolveLookup flattens the optional trailing options of the exported
+// look-up entry points.
+func resolveLookup(opts []LookupOptions) LookupOptions {
+	if len(opts) == 0 {
+		return LookupOptions{}
+	}
+	return opts[0]
+}
+
+// workers returns the effective worker-pool size.
+func (o LookupOptions) workers() int {
+	if o.Concurrency > 0 {
+		return o.Concurrency
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // LookupQuery looks up each tree pattern of the query and returns one URI
 // list per pattern, sorted, plus combined statistics.
-func LookupQuery(store kv.Store, s Strategy, q *pattern.Query) ([][]string, LookupStats, error) {
+func LookupQuery(store kv.Store, s Strategy, q *pattern.Query, opts ...LookupOptions) ([][]string, LookupStats, error) {
+	opt := resolveLookup(opts)
 	var stats LookupStats
 	out := make([][]string, len(q.Patterns))
 	for i, t := range q.Patterns {
-		uris, st, err := LookupPattern(store, s, t)
+		uris, st, err := LookupPattern(store, s, t, opt)
 		if err != nil {
 			return nil, stats, fmt.Errorf("pattern %d: %w", i, err)
 		}
@@ -64,17 +120,18 @@ func LookupQuery(store kv.Store, s Strategy, q *pattern.Query) ([][]string, Look
 
 // LookupPattern returns the sorted URIs of the documents that may embed the
 // tree pattern, according to the strategy.
-func LookupPattern(store kv.Store, s Strategy, t *pattern.Tree) ([]string, LookupStats, error) {
+func LookupPattern(store kv.Store, s Strategy, t *pattern.Tree, opts ...LookupOptions) ([]string, LookupStats, error) {
+	opt := resolveLookup(opts)
 	aug := augment(t)
 	switch s {
 	case LU:
-		return lookupLU(store, s.luTableName(), aug)
+		return lookupLU(store, s.luTableName(), aug, opt)
 	case LUP:
-		return lookupLUP(store, s.pathTableName(), aug)
+		return lookupLUP(store, s.pathTableName(), aug, opt)
 	case LUI:
-		return lookupLUI(store, s.idTableName(), aug, nil)
+		return lookupLUI(store, s.idTableName(), aug, nil, opt)
 	case TwoLUPI:
-		uris, st1, err := lookupLUP(store, s.pathTableName(), aug)
+		uris, st1, err := lookupLUP(store, s.pathTableName(), aug, opt)
 		if err != nil {
 			return nil, st1, err
 		}
@@ -82,7 +139,7 @@ func LookupPattern(store kv.Store, s Strategy, t *pattern.Tree) ([]string, Looku
 		for _, u := range uris {
 			reduce[u] = true
 		}
-		out, st2, err := lookupLUI(store, s.idTableName(), aug, reduce)
+		out, st2, err := lookupLUI(store, s.idTableName(), aug, reduce, opt)
 		st2.add(st1)
 		return out, st2, err
 	default:
@@ -119,9 +176,11 @@ func augment(t *pattern.Tree) *augmented {
 		if !n.IsAttr {
 			var words []string
 			switch n.Pred.Kind {
-			case pattern.Eq:
-				words = xmltree.Words(n.Pred.Const)
-			case pattern.Contains:
+			case pattern.Eq, pattern.Contains:
+				// Both predicates index on the words of the constant: an
+				// equality match trivially contains every word of its
+				// constant, so look-up treats them alike and the engine
+				// tells them apart on the fetched documents.
 				words = xmltree.Words(n.Pred.Const)
 			}
 			for _, w := range words {
@@ -174,13 +233,13 @@ func (a *augmented) queryPaths() [][]QueryStep {
 
 // lookupLU implements Section 5.1: look up every key extracted from the
 // query and intersect the URI sets.
-func lookupLU(store kv.Store, table string, aug *augmented) ([]string, LookupStats, error) {
+func lookupLU(store kv.Store, table string, aug *augmented, opt LookupOptions) ([]string, LookupStats, error) {
 	keys := aug.distinctKeys()
-	postings, d, bytes, err := ReadKeys(store, table, keys, URIPosting, false)
+	postings, rs, err := ReadKeys(store, table, keys, URIPosting, false, opt)
 	if err != nil {
 		return nil, LookupStats{}, err
 	}
-	stats := LookupStats{GetOps: int64(len(keys)), GetTime: d, BytesFetched: bytes}
+	stats := statsFromRead(rs)
 	var uriSets []map[string]*Posting
 	for _, k := range keys {
 		uriSets = append(uriSets, postings[k])
@@ -191,7 +250,7 @@ func lookupLU(store kv.Store, table string, aug *augmented) ([]string, LookupSta
 // lookupLUP implements Section 5.2: for each root-to-leaf query path, look
 // up the key of its last step and keep the URIs having a stored data path
 // that matches the query path; intersect across query paths.
-func lookupLUP(store kv.Store, table string, aug *augmented) ([]string, LookupStats, error) {
+func lookupLUP(store kv.Store, table string, aug *augmented, opt LookupOptions) ([]string, LookupStats, error) {
 	paths := aug.queryPaths()
 	keySet := make(map[string]bool)
 	for _, p := range paths {
@@ -202,11 +261,11 @@ func lookupLUP(store kv.Store, table string, aug *augmented) ([]string, LookupSt
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
-	postings, d, bytes, err := ReadKeys(store, table, keys, PathPosting, false)
+	postings, rs, err := ReadKeys(store, table, keys, PathPosting, false, opt)
 	if err != nil {
 		return nil, LookupStats{}, err
 	}
-	stats := LookupStats{GetOps: int64(len(keys)), GetTime: d, BytesFetched: bytes}
+	stats := statsFromRead(rs)
 
 	var uriSets []map[string]*Posting
 	for _, qp := range paths {
@@ -229,13 +288,13 @@ func lookupLUP(store kv.Store, table string, aug *augmented) ([]string, LookupSt
 // every query key and run the holistic twig join per candidate document.
 // When reduce is non-nil (the 2LUPI plan of Figure 5), only URIs in it are
 // considered — the semijoin with the LUP result R1.
-func lookupLUI(store kv.Store, table string, aug *augmented, reduce map[string]bool) ([]string, LookupStats, error) {
+func lookupLUI(store kv.Store, table string, aug *augmented, reduce map[string]bool, opt LookupOptions) ([]string, LookupStats, error) {
 	keys := aug.distinctKeys()
-	postings, d, bytes, err := ReadKeys(store, table, keys, IDPosting, store.Limits().SupportsBinary)
+	postings, rs, err := ReadKeys(store, table, keys, IDPosting, store.Limits().SupportsBinary, opt)
 	if err != nil {
 		return nil, LookupStats{}, err
 	}
-	stats := LookupStats{GetOps: int64(len(keys)), GetTime: d, BytesFetched: bytes}
+	stats := statsFromRead(rs)
 
 	// Candidate URIs must appear under every key (and pass the reduction).
 	candidates := make(map[string]bool)
@@ -258,8 +317,18 @@ func lookupLUI(store kv.Store, table string, aug *augmented, reduce map[string]b
 	}
 	stats.TwigCandidates = len(candidates)
 
-	var out []string
+	// The per-candidate holistic twig joins are independent CPU work over
+	// read-only postings; fan them out across the worker pool. Candidates
+	// are fixed in sorted order first so the output (and any future
+	// tie-breaking) never depends on scheduling.
+	ordered := make([]string, 0, len(candidates))
 	for uri := range candidates {
+		ordered = append(ordered, uri)
+	}
+	sort.Strings(ordered)
+	matched := make([]bool, len(ordered))
+	matchOne := func(ci int) {
+		uri := ordered[ci]
 		streams := make(twigjoin.Streams)
 		ok := true
 		aug.tree.Walk(func(n *pattern.Node) {
@@ -270,11 +339,36 @@ func lookupLUI(store kv.Store, table string, aug *augmented, reduce map[string]b
 			}
 			streams[n] = twigjoin.Stream(p.IDs)
 		})
-		if ok && twigjoin.Match(aug.tree, streams) {
+		matched[ci] = ok && twigjoin.Match(aug.tree, streams)
+	}
+	if workers := min(opt.workers(), len(ordered)); workers <= 1 {
+		for ci := range ordered {
+			matchOne(ci)
+		}
+	} else {
+		var wg sync.WaitGroup
+		idx := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for ci := range idx {
+					matchOne(ci)
+				}
+			}()
+		}
+		for ci := range ordered {
+			idx <- ci
+		}
+		close(idx)
+		wg.Wait()
+	}
+	var out []string
+	for ci, uri := range ordered {
+		if matched[ci] {
 			out = append(out, uri)
 		}
 	}
-	sort.Strings(out)
 	return out, stats, nil
 }
 

@@ -16,16 +16,32 @@ import (
 // PRNG. The paper uses UUIDs as DynamoDB range keys so that items can be
 // inserted concurrently from multiple virtual machines without overwrites
 // (Section 6); a seeded generator keeps the simulation reproducible. It is
-// safe for concurrent use.
+// safe for concurrent use, but the single lock serializes all callers;
+// concurrent loaders should each Fork their own generator instead of
+// sharing one.
 type UUIDGen struct {
-	mu  sync.Mutex
-	rng *rand.Rand
+	seed int64
+	mu   sync.Mutex
+	rng  *rand.Rand
 }
 
 // NewUUIDGen returns a generator; distinct loader instances should use
 // distinct seeds.
 func NewUUIDGen(seed int64) *UUIDGen {
-	return &UUIDGen{rng: rand.New(rand.NewSource(seed))}
+	return &UUIDGen{seed: seed, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Fork derives the i-th child generator from the parent's seed. Children
+// are lock-independent of the parent and of each other, so a pool of i
+// workers each holding Fork(i) generates identifiers with no contention;
+// for a fixed worker count the identifier streams are reproducible. The
+// child seed mixes seed and i through splitmix64 so that sibling streams do
+// not overlap in practice.
+func (g *UUIDGen) Fork(i int) *UUIDGen {
+	z := uint64(g.seed) + (uint64(i)+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return NewUUIDGen(int64(z ^ (z >> 31)))
 }
 
 // Next returns a fresh identifier.
@@ -92,14 +108,23 @@ func OptionsFor(store kv.Store) Options {
 // LoadDocument extracts the document's entries under the strategy and
 // writes them to the store in batch puts, returning the modeled store
 // latency and load statistics. Entries whose values exceed the store's item
-// budget are split across several UUID-ranged items.
-func LoadDocument(store kv.Store, s Strategy, doc *xmltree.Document, uuids *UUIDGen, opts Options) (time.Duration, LoadStats, error) {
+// budget are split across several UUID-ranged items. Any caches fronting
+// the store must be passed so their entries for the touched keys are
+// invalidated.
+func LoadDocument(store kv.Store, s Strategy, doc *xmltree.Document, uuids *UUIDGen, opts Options, caches ...*PostingCache) (time.Duration, LoadStats, error) {
 	ex := Extract(s, doc, opts)
-	return WriteExtraction(store, ex, uuids)
+	return WriteExtraction(store, ex, uuids, caches...)
 }
 
-// WriteExtraction writes a precomputed extraction to the store.
-func WriteExtraction(store kv.Store, ex *Extraction, uuids *UUIDGen) (time.Duration, LoadStats, error) {
+// WriteExtraction writes a precomputed extraction to the store and
+// invalidates the touched keys in the given posting caches (even on error,
+// since a failed batch may have partially landed).
+func WriteExtraction(store kv.Store, ex *Extraction, uuids *UUIDGen, caches ...*PostingCache) (time.Duration, LoadStats, error) {
+	defer func() {
+		for _, c := range caches {
+			c.InvalidateExtraction(ex)
+		}
+	}()
 	var (
 		total time.Duration
 		stats LoadStats
@@ -225,38 +250,121 @@ func ReadKey(store kv.Store, table, key string, kind PostingKind, binaryIDs bool
 	return postings, d, err
 }
 
-// ReadKeys batch-fetches several hash keys, respecting the store's batch
-// limit, and returns per-key postings.
-func ReadKeys(store kv.Store, table string, keys []string, kind PostingKind, binaryIDs bool) (map[string]map[string]*Posting, time.Duration, int64, error) {
+// ReadStats summarizes one ReadKeys call for LookupStats accounting. Only
+// keys actually fetched from the store count toward the billed quantities
+// (GetOps, GetTime, Bytes); cache hits are reported separately.
+type ReadStats struct {
+	GetOps         int64         // index keys fetched from the store
+	GetTime        time.Duration // summed modeled store latency
+	Bytes          int64         // payload bytes fetched from the store
+	CacheHits      int64
+	CacheMisses    int64
+	CacheEvictions int64
+}
+
+// ReadKeys batch-fetches several hash keys and returns per-key postings.
+// Keys resident in opts' cache are served from it without touching the
+// store; the misses are split into store-batch-limit chunks fanned out over
+// a bounded worker pool (opts' Concurrency), with items decoded on the
+// fetch goroutines. The result and the billed statistics are identical to
+// a sequential read: per-chunk latencies and byte counts are summed in
+// chunk order, and key sets of distinct chunks are disjoint.
+func ReadKeys(store kv.Store, table string, keys []string, kind PostingKind, binaryIDs bool, opts ...LookupOptions) (map[string]map[string]*Posting, ReadStats, error) {
+	opt := resolveLookup(opts)
+	var rs ReadStats
+	out := make(map[string]map[string]*Posting, len(keys))
+
+	fetch := keys
+	if opt.Cache != nil {
+		fetch = make([]string, 0, len(keys))
+		for _, k := range keys {
+			if p, ok := opt.Cache.get(cacheKey{table: table, key: k, kind: kind}); ok {
+				out[k] = p
+				rs.CacheHits++
+			} else {
+				rs.CacheMisses++
+				fetch = append(fetch, k)
+			}
+		}
+	}
+	rs.GetOps = int64(len(fetch))
+	if len(fetch) == 0 {
+		return out, rs, nil
+	}
+
 	lim := store.Limits().BatchGetKeys
 	if lim <= 0 {
 		lim = 1
 	}
-	out := make(map[string]map[string]*Posting, len(keys))
-	var total time.Duration
-	var bytes int64
-	for start := 0; start < len(keys); start += lim {
+	chunks := (len(fetch) + lim - 1) / lim
+	type chunkResult struct {
+		postings map[string]map[string]*Posting
+		d        time.Duration
+		bytes    int64
+		err      error
+	}
+	results := make([]chunkResult, chunks)
+	fetchChunk := func(ci int) chunkResult {
+		start := ci * lim
 		end := start + lim
-		if end > len(keys) {
-			end = len(keys)
+		if end > len(fetch) {
+			end = len(fetch)
 		}
-		got, d, err := store.BatchGet(table, keys[start:end])
+		got, d, err := store.BatchGet(table, fetch[start:end])
 		if err != nil {
-			return nil, 0, 0, err
+			return chunkResult{err: err}
 		}
-		total += d
+		cr := chunkResult{postings: make(map[string]map[string]*Posting, len(got)), d: d}
 		for k, items := range got {
 			for _, it := range items {
-				bytes += it.Size()
+				cr.bytes += it.Size()
 			}
 			postings, err := decodeItems(items, kind, binaryIDs)
 			if err != nil {
-				return nil, 0, 0, fmt.Errorf("key %q: %w", k, err)
+				return chunkResult{err: fmt.Errorf("key %q: %w", k, err)}
 			}
+			cr.postings[k] = postings
+		}
+		return cr
+	}
+
+	if workers := min(opt.workers(), chunks); workers <= 1 {
+		for ci := range results {
+			results[ci] = fetchChunk(ci)
+		}
+	} else {
+		var wg sync.WaitGroup
+		idx := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for ci := range idx {
+					results[ci] = fetchChunk(ci)
+				}
+			}()
+		}
+		for ci := 0; ci < chunks; ci++ {
+			idx <- ci
+		}
+		close(idx)
+		wg.Wait()
+	}
+
+	for _, cr := range results {
+		if cr.err != nil {
+			return nil, rs, cr.err
+		}
+		rs.GetTime += cr.d
+		rs.Bytes += cr.bytes
+		for k, postings := range cr.postings {
 			out[k] = postings
+			if opt.Cache != nil {
+				rs.CacheEvictions += opt.Cache.put(cacheKey{table: table, key: k, kind: kind}, postings)
+			}
 		}
 	}
-	return out, total, bytes, nil
+	return out, rs, nil
 }
 
 func decodeItems(items []kv.Item, kind PostingKind, binaryIDs bool) (map[string]*Posting, error) {

@@ -217,7 +217,19 @@ func Parse(uri string, data []byte) (*Document, error) {
 	if doc.Root == nil {
 		return nil, fmt.Errorf("%w: %s", ErrEmptyDocument, uri)
 	}
+	doc.buildLabelIndex()
 	return doc, nil
+}
+
+// buildLabelIndex materializes the label → nodes map. Parse calls it
+// eagerly so that a parsed document is immutable afterwards and can be read
+// from any number of goroutines (the query pipeline evaluates one document
+// on several workers).
+func (d *Document) buildLabelIndex() {
+	d.byLabel = make(map[string][]*Node)
+	for _, n := range d.nodes {
+		d.byLabel[n.Label] = append(d.byLabel[n.Label], n)
+	}
 }
 
 // NodeCount returns the number of nodes (elements, attributes, texts).
@@ -237,13 +249,13 @@ func (d *Document) NodeByPre(pre int32) *Node {
 
 // NodesByLabel returns the element or attribute nodes carrying the given
 // label, in document order. Text nodes, having no label, are returned for
-// label "". The result is memoized; callers must not modify it.
+// label "". Parse builds the underlying map eagerly, so concurrent calls on
+// a parsed document are safe; the lazy fallback only serves documents
+// assembled by hand, which are single-goroutine by construction. Callers
+// must not modify the result.
 func (d *Document) NodesByLabel(label string) []*Node {
 	if d.byLabel == nil {
-		d.byLabel = make(map[string][]*Node)
-		for _, n := range d.nodes {
-			d.byLabel[n.Label] = append(d.byLabel[n.Label], n)
-		}
+		d.buildLabelIndex()
 	}
 	return d.byLabel[label]
 }
