@@ -96,7 +96,6 @@ func TestEstimatesMatchTrueLookupSizes(t *testing.T) {
 		t.Fatal(err)
 	}
 	store := dynamodb.New(meter.NewLedger())
-	uuids := index.NewUUIDGen(5)
 	for _, s := range index.All() {
 		if err := index.CreateTables(store, s); err != nil {
 			t.Fatal(err)
@@ -105,7 +104,7 @@ func TestEstimatesMatchTrueLookupSizes(t *testing.T) {
 	opts := index.OptionsFor(store)
 	for _, d := range docs {
 		for _, s := range index.All() {
-			if _, _, err := index.LoadDocument(store, s, d, uuids, opts); err != nil {
+			if _, _, err := index.LoadDocument(store, s, d, opts); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -231,7 +230,6 @@ func TestEstimateBuildTracksMeasured(t *testing.T) {
 	}
 	// Measure the real thing on a bare store.
 	store := dynamodb.New(meter.NewLedger())
-	uuids := index.NewUUIDGen(8)
 	for _, s := range index.All() {
 		if err := index.CreateTables(store, s); err != nil {
 			t.Fatal(err)
@@ -241,7 +239,7 @@ func TestEstimateBuildTracksMeasured(t *testing.T) {
 	measured := map[index.Strategy]int64{}
 	for _, d := range docs {
 		for _, s := range index.All() {
-			if _, st, err := index.LoadDocument(store, s, d, uuids, opts); err != nil {
+			if _, st, err := index.LoadDocument(store, s, d, opts); err != nil {
 				t.Fatal(err)
 			} else {
 				measured[s] += int64(st.Items)

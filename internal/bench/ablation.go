@@ -52,10 +52,9 @@ func RunAblationIDEncoding(c *Corpus) ([]AblationResult, error) {
 		}
 		opts := index.OptionsFor(store)
 		opts.BinaryIDs = binary
-		uuids := index.NewUUIDGen(21)
 		var upload time.Duration
 		for _, d := range c.Parsed {
-			dur, _, err := index.LoadDocument(store, index.LUI, d, uuids, opts)
+			dur, _, err := index.LoadDocument(store, index.LUI, d, opts)
 			if err != nil {
 				return 0, 0, err
 			}
@@ -106,11 +105,10 @@ func RunAblationBatching(c *Corpus) ([]AblationResult, error) {
 		if err := index.CreateTables(store, index.LUP); err != nil {
 			return 0, 0, err
 		}
-		uuids := index.NewUUIDGen(22)
 		opts := index.OptionsFor(store)
 		var upload time.Duration
 		for _, d := range c.Parsed {
-			dur, _, err := index.LoadDocument(store, index.LUP, d, uuids, opts)
+			dur, _, err := index.LoadDocument(store, index.LUP, d, opts)
 			if err != nil {
 				return 0, 0, err
 			}
@@ -145,10 +143,9 @@ func RunAblationPathCompression(c *Corpus) ([]AblationResult, error) {
 		}
 		opts := index.OptionsFor(store)
 		opts.CompressPaths = compress
-		uuids := index.NewUUIDGen(23)
 		var upload time.Duration
 		for _, d := range c.Parsed {
-			dur, _, err := index.LoadDocument(store, index.LUP, d, uuids, opts)
+			dur, _, err := index.LoadDocument(store, index.LUP, d, opts)
 			if err != nil {
 				return 0, 0, err
 			}

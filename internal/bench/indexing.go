@@ -182,11 +182,10 @@ func RunFig8(c *Corpus) ([]Fig8Row, int64, error) {
 			if err := index.CreateTables(store, s); err != nil {
 				return nil, 0, err
 			}
-			uuids := index.NewUUIDGen(11)
 			opts := index.OptionsFor(store)
 			opts.SkipWords = skipWords
 			for _, d := range c.Parsed {
-				if _, _, err := index.LoadDocument(store, s, d, uuids, opts); err != nil {
+				if _, _, err := index.LoadDocument(store, s, d, opts); err != nil {
 					return nil, 0, err
 				}
 			}

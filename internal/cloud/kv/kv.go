@@ -14,6 +14,7 @@ package kv
 
 import (
 	"errors"
+	"fmt"
 	"time"
 )
 
@@ -75,6 +76,47 @@ var (
 	ErrNotText       = errors.New("kv: store does not accept binary attribute values")
 	ErrEmptyKey      = errors.New("kv: empty hash key")
 )
+
+// Transient errors. Real DynamoDB surfaces two retriable failure classes:
+// provisioned-throughput throttling and 5xx internal errors. Clients are
+// expected to back off and retry both (the Retry wrapper does).
+var (
+	// ErrThrottled is the "provisioned throughput exceeded" failure the
+	// store returns under load.
+	ErrThrottled = errors.New("kv: provisioned throughput exceeded")
+	// ErrInternal is a transient internal service error (HTTP 5xx).
+	ErrInternal = errors.New("kv: internal service error (transient)")
+)
+
+// IsTransient reports whether the error is a retriable failure class
+// (throttling or an internal service error). Partial batch outcomes are not
+// transient errors: they carry results and are handled structurally.
+func IsTransient(err error) bool {
+	return errors.Is(err, ErrThrottled) || errors.Is(err, ErrInternal)
+}
+
+// PartialPutError reports a DynamoDB-style partially applied BatchPut
+// (BatchWriteItem's UnprocessedItems): every item not listed landed; the
+// listed remainder did not. Callers must resubmit only Unprocessed.
+type PartialPutError struct {
+	Unprocessed []Item
+}
+
+func (e *PartialPutError) Error() string {
+	return fmt.Sprintf("kv: batch put partially applied (%d unprocessed items)", len(e.Unprocessed))
+}
+
+// PartialGetError reports a DynamoDB-style partially served BatchGet
+// (UnprocessedKeys): the returned map holds every key not listed; the
+// listed remainder was not read. Callers must re-fetch only
+// UnprocessedKeys and merge.
+type PartialGetError struct {
+	UnprocessedKeys []string
+}
+
+func (e *PartialGetError) Error() string {
+	return fmt.Sprintf("kv: batch get partially served (%d unprocessed keys)", len(e.UnprocessedKeys))
+}
 
 // Limits describes a store's hard limits and capabilities.
 type Limits struct {

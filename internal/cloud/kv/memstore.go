@@ -382,6 +382,37 @@ func (s *MemStore) TotalBytes() int64 {
 	return n
 }
 
+// DumpTable returns every item of a table in deterministic order (hash
+// key, then range key). It is a verification/debugging helper outside the
+// billed Store API; differential tests use it to compare whole-store
+// contents across runs.
+func (s *MemStore) DumpTable(tbl string) []Item {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t, ok := s.tables[tbl]
+	if !ok {
+		return nil
+	}
+	hashKeys := make([]string, 0, len(t.groups))
+	for hk := range t.groups {
+		hashKeys = append(hashKeys, hk)
+	}
+	sort.Strings(hashKeys)
+	var out []Item
+	for _, hk := range hashKeys {
+		g := t.groups[hk]
+		rangeKeys := make([]string, 0, len(g))
+		for rk := range g {
+			rangeKeys = append(rangeKeys, rk)
+		}
+		sort.Strings(rangeKeys)
+		for _, rk := range rangeKeys {
+			out = append(out, copyItem(g[rk]))
+		}
+	}
+	return out
+}
+
 // ItemCount implements Store.
 func (s *MemStore) ItemCount(tbl string) int64 {
 	s.mu.RLock()

@@ -3,31 +3,94 @@ package kv
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
-// ErrThrottled is the transient "provisioned throughput exceeded" failure
-// real DynamoDB returns under load; clients are expected to back off and
-// retry.
-var ErrThrottled = errors.New("kv: provisioned throughput exceeded")
-
-// Retry wraps a store so that throttled data operations are retried with
-// exponential backoff. The backoff is charged as modeled latency on the
-// returned duration, so retries cost virtual-machine time exactly like
-// they would on EC2. Non-transient errors pass through unchanged.
+// Retry wraps a store so that transient data-operation failures (throttling
+// and internal errors) are retried with capped, jittered exponential
+// backoff, and DynamoDB-style partial batch outcomes (PartialPutError /
+// PartialGetError) are completed by resubmitting only the unprocessed
+// remainder. The backoff is charged as modeled latency on the returned
+// duration, so retries cost virtual-machine time exactly like they would on
+// EC2. Non-transient errors pass through unchanged.
+//
+// Backoff uses seeded full jitter: the wait before attempt k is uniform in
+// (0, min(BaseBackoff<<k, MaxBackoff)], drawn from a PRNG seeded with Seed,
+// so concurrent clients sharing a saturated store do not retry in lockstep
+// while modeled times stay deterministic for a given seed and call order.
 type Retry struct {
 	Store
-	// MaxAttempts bounds the tries per operation (default 5).
+	// MaxAttempts bounds the tries per operation (default 5). A partial
+	// batch outcome that made progress (some items landed / some keys were
+	// served) refreshes the budget: only consecutive zero-progress attempts
+	// count against it, and batches shrink monotonically, so termination is
+	// still guaranteed.
 	MaxAttempts int
-	// BaseBackoff is the first retry's wait, doubled per attempt
+	// BaseBackoff is the cap of the first retry's wait, doubled per attempt
 	// (default 50ms).
 	BaseBackoff time.Duration
+	// MaxBackoff caps one wait (default 5s). The doubling stops at the cap,
+	// so large MaxAttempts cannot overflow the shift.
+	MaxBackoff time.Duration
+	// Seed drives the jitter PRNG; retries of distinct Retry values with
+	// the same seed draw identical jitter sequences.
+	Seed int64
+
+	rngOnce sync.Once
+	rngMu   sync.Mutex
+	rng     *rand.Rand
+
+	stats retryCounters
 }
 
-// NewRetry wraps a store with default policy.
+// RetryStats is a snapshot of a Retry wrapper's degradation counters.
+type RetryStats struct {
+	// Retries counts attempts beyond the first across all operations.
+	Retries int64
+	// Throttles and Internal split the transient failures observed.
+	Throttles int64
+	Internal  int64
+	// PartialBatches counts partial batch outcomes absorbed;
+	// ItemsResubmitted and KeysRefetched the remainder sizes resubmitted.
+	PartialBatches   int64
+	ItemsResubmitted int64
+	KeysRefetched    int64
+	// GaveUp counts operations that exhausted the retry budget.
+	GaveUp int64
+}
+
+type retryCounters struct {
+	retries, throttles, internal           atomic.Int64
+	partialBatches, itemsResub, keysRefetc atomic.Int64
+	gaveUp                                 atomic.Int64
+}
+
+// RetryStats returns a snapshot of the wrapper's cumulative counters.
+func (r *Retry) RetryStats() RetryStats {
+	return RetryStats{
+		Retries:          r.stats.retries.Load(),
+		Throttles:        r.stats.throttles.Load(),
+		Internal:         r.stats.internal.Load(),
+		PartialBatches:   r.stats.partialBatches.Load(),
+		ItemsResubmitted: r.stats.itemsResub.Load(),
+		KeysRefetched:    r.stats.keysRefetc.Load(),
+		GaveUp:           r.stats.gaveUp.Load(),
+	}
+}
+
+// RetryStatsSource is implemented by stores that can report retry
+// degradation counters (the Retry wrapper); look-up code uses it to
+// attribute store retries to LookupStats.
+type RetryStatsSource interface {
+	RetryStats() RetryStats
+}
+
+// NewRetry wraps a store with the default policy.
 func NewRetry(s Store) *Retry {
-	return &Retry{Store: s, MaxAttempts: 5, BaseBackoff: 50 * time.Millisecond}
+	return &Retry{Store: s, MaxAttempts: 5, BaseBackoff: 50 * time.Millisecond, MaxBackoff: 5 * time.Second, Seed: 1}
 }
 
 func (r *Retry) attempts() int {
@@ -37,12 +100,43 @@ func (r *Retry) attempts() int {
 	return 5
 }
 
+// backoff returns the jittered wait before retry number attempt (0-based).
 func (r *Retry) backoff(attempt int) time.Duration {
 	base := r.BaseBackoff
 	if base <= 0 {
 		base = 50 * time.Millisecond
 	}
-	return base << attempt
+	max := r.MaxBackoff
+	if max <= 0 {
+		max = 5 * time.Second
+	}
+	if base > max {
+		base = max
+	}
+	// Double up to the cap; stopping at the cap keeps the shift from
+	// overflowing for large attempt counts.
+	d := base
+	for i := 0; i < attempt && d < max; i++ {
+		d <<= 1
+	}
+	if d > max {
+		d = max
+	}
+	r.rngOnce.Do(func() { r.rng = rand.New(rand.NewSource(r.Seed)) })
+	r.rngMu.Lock()
+	j := r.rng.Int63n(int64(d))
+	r.rngMu.Unlock()
+	return time.Duration(j) + 1 // full jitter in (0, d]
+}
+
+// classify tallies a transient failure.
+func (r *Retry) classify(err error) {
+	switch {
+	case errors.Is(err, ErrThrottled):
+		r.stats.throttles.Add(1)
+	case errors.Is(err, ErrInternal):
+		r.stats.internal.Add(1)
+	}
 }
 
 // retry runs op until it succeeds, fails hard, or exhausts attempts,
@@ -55,9 +149,15 @@ func (r *Retry) retry(op func() (time.Duration, error)) (time.Duration, error) {
 		if err == nil {
 			return total, nil
 		}
-		if !errors.Is(err, ErrThrottled) || attempt+1 >= r.attempts() {
+		if !IsTransient(err) {
 			return total, err
 		}
+		r.classify(err)
+		if attempt+1 >= r.attempts() {
+			r.stats.gaveUp.Add(1)
+			return total, err
+		}
+		r.stats.retries.Add(1)
 		total += r.backoff(attempt)
 	}
 }
@@ -67,9 +167,41 @@ func (r *Retry) Put(table string, item Item) (time.Duration, error) {
 	return r.retry(func() (time.Duration, error) { return r.Store.Put(table, item) })
 }
 
-// BatchPut implements Store with retries.
+// BatchPut implements Store with retries. A partial outcome resubmits only
+// the unprocessed remainder; progress refreshes the attempt budget.
 func (r *Retry) BatchPut(table string, items []Item) (time.Duration, error) {
-	return r.retry(func() (time.Duration, error) { return r.Store.BatchPut(table, items) })
+	var total time.Duration
+	pending := items
+	for attempt := 0; ; {
+		d, err := r.Store.BatchPut(table, pending)
+		total += d
+		if err == nil {
+			return total, nil
+		}
+		var pe *PartialPutError
+		switch {
+		case errors.As(err, &pe):
+			r.stats.partialBatches.Add(1)
+			r.stats.itemsResub.Add(int64(len(pe.Unprocessed)))
+			if len(pe.Unprocessed) < len(pending) {
+				attempt = 0 // progress refreshes the budget
+			} else {
+				attempt++
+			}
+			pending = pe.Unprocessed
+		case IsTransient(err):
+			r.classify(err)
+			attempt++
+		default:
+			return total, err
+		}
+		if attempt >= r.attempts() {
+			r.stats.gaveUp.Add(1)
+			return total, err
+		}
+		r.stats.retries.Add(1)
+		total += r.backoff(attempt)
+	}
 }
 
 // DeleteItem implements Store with retries.
@@ -89,21 +221,53 @@ func (r *Retry) Get(table, hashKey string) ([]Item, time.Duration, error) {
 	return items, d, err
 }
 
-// BatchGet implements Store with retries.
+// BatchGet implements Store with retries. A partial outcome re-fetches only
+// the unprocessed keys and merges; progress refreshes the attempt budget.
 func (r *Retry) BatchGet(table string, hashKeys []string) (map[string][]Item, time.Duration, error) {
-	var out map[string][]Item
-	d, err := r.retry(func() (time.Duration, error) {
-		var d time.Duration
-		var err error
-		out, d, err = r.Store.BatchGet(table, hashKeys)
-		return d, err
-	})
-	return out, d, err
+	var total time.Duration
+	merged := make(map[string][]Item, len(hashKeys))
+	pending := hashKeys
+	for attempt := 0; ; {
+		out, d, err := r.Store.BatchGet(table, pending)
+		total += d
+		for k, v := range out {
+			merged[k] = v
+		}
+		if err == nil {
+			return merged, total, nil
+		}
+		var pe *PartialGetError
+		switch {
+		case errors.As(err, &pe):
+			r.stats.partialBatches.Add(1)
+			r.stats.keysRefetc.Add(int64(len(pe.UnprocessedKeys)))
+			if len(pe.UnprocessedKeys) < len(pending) {
+				attempt = 0 // progress refreshes the budget
+			} else {
+				attempt++
+			}
+			pending = pe.UnprocessedKeys
+		case IsTransient(err):
+			r.classify(err)
+			attempt++
+		default:
+			return nil, total, err
+		}
+		if attempt >= r.attempts() {
+			r.stats.gaveUp.Add(1)
+			return nil, total, err
+		}
+		r.stats.retries.Add(1)
+		total += r.backoff(attempt)
+	}
 }
 
 // FaultInjector wraps a store and makes every n-th data operation fail
-// with ErrThrottled before reaching the underlying store. It exists to
-// test retry behaviour and loader resilience.
+// with ErrThrottled before reaching the underlying store.
+//
+// Deprecated: use chaos.EveryNth (internal/cloud/chaos), which also
+// supports failure classes beyond ErrThrottled, or a seeded chaos.Plan for
+// probabilistic injection. This type remains so existing tests compile.
 type FaultInjector struct {
 	Store
 	// FailEvery makes operation number k fail whenever k % FailEvery == 0

@@ -32,6 +32,10 @@ var (
 	ErrBucketExists = errors.New("s3: bucket already exists")
 	ErrNoSuchKey    = errors.New("s3: no such key")
 	ErrEmptyKey     = errors.New("s3: empty object key")
+	// ErrTransient is the retriable "503 Slow Down" class of failure; the
+	// chaos layer injects it in front of Get/Put/Delete. Callers that do
+	// not retry rely on queue redelivery to absorb it.
+	ErrTransient = errors.New("s3: service unavailable (transient, slow down)")
 )
 
 // Perf parameterizes the latency model.

@@ -28,7 +28,9 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
+	"repro/internal/cloud/chaos"
 	"repro/internal/cloud/dynamodb"
 	"repro/internal/cloud/kv"
 	"repro/internal/cloud/s3"
@@ -53,7 +55,8 @@ const (
 )
 
 // MaxLoadAttempts is how many times a loading request is delivered before
-// it is moved to the dead-letter queue.
+// it is moved to the dead-letter queue (the default; Config.MaxLoadAttempts
+// overrides it).
 const MaxLoadAttempts = 5
 
 // PerfModel calibrates the modeled CPU throughput of the application code,
@@ -136,6 +139,45 @@ type Config struct {
 	// changes the billed quantities of repeated look-ups (hits cost no
 	// GetOps), so the paper-reproduction experiments run without it.
 	PostingCacheBytes int64
+
+	// Chaos, when set, interposes the seeded fault-injection layer between
+	// the warehouse and all three cloud services — throttling, transient
+	// errors and partial batches on the index store; duplicate delivery and
+	// forced lease expiry on the queues; transient faults on the file store
+	// — and fronts the index store with a kv.Retry so the injected store
+	// faults are absorbed. The warehouse's exactly-once guarantees
+	// (deterministic index range keys, lease-based redelivery) make the
+	// final contents independent of the injected faults; tests assert that
+	// differentially. Rates can be changed mid-run through ChaosInjector.
+	Chaos *chaos.Plan
+	// MaxLoadAttempts overrides the dead-letter redrive threshold of the
+	// loader queue (default MaxLoadAttempts). Chaos runs raise it so that
+	// injected redeliveries do not push healthy documents into the DLQ.
+	MaxLoadAttempts int
+}
+
+// fileService is the slice of the s3 API the warehouse consumes; the chaos
+// file wrapper implements it too.
+type fileService interface {
+	CreateBucket(name string) error
+	Put(bkt, key string, data []byte, userMeta map[string]string) (time.Duration, error)
+	Get(bkt, key string) (s3.Object, time.Duration, error)
+	Delete(bkt, key string) (time.Duration, error)
+	List(bkt, prefix string) ([]string, time.Duration, error)
+	BucketBytes(bkt string) int64
+}
+
+// queueService is the slice of the sqs API the warehouse consumes; the
+// chaos queue wrapper implements it too.
+type queueService interface {
+	CreateQueue(name string) error
+	SetRedrivePolicy(queueName, deadLetterQueue string, maxReceive int) error
+	Send(queueName, body string) (string, time.Duration, error)
+	Receive(queueName string, visibility time.Duration) (*sqs.Message, time.Duration, error)
+	ReceiveWait(queueName string, visibility, maxWait time.Duration) (*sqs.Message, time.Duration, error)
+	Delete(queueName, receipt string) (time.Duration, error)
+	ChangeVisibility(queueName, receipt string, visibility time.Duration) (time.Duration, error)
+	Len(queueName string) int
 }
 
 // Warehouse wires the cloud services of Figure 1 together.
@@ -149,14 +191,22 @@ type Warehouse struct {
 	cache         *index.PostingCache
 
 	ledger *meter.Ledger
-	files  *s3.Service
+	files  fileService
 	store  kv.Store
-	queues *sqs.Service
-	uuids  *index.UUIDGen
+	queues queueService
 
-	mu        sync.Mutex
-	querySeq  int
-	workerSeq int
+	// The unwrapped services, for inspection (dumps, queue lengths) and for
+	// the accessors that existing callers rely on; identical to the fields
+	// above when no chaos layer is configured.
+	baseFiles  *s3.Service
+	baseStore  kv.Store
+	baseQueues *sqs.Service
+
+	chaosInj *chaos.Injector
+	retry    *kv.Retry
+
+	mu       sync.Mutex
+	querySeq int
 }
 
 // New provisions the warehouse's bucket, queues and index tables.
@@ -165,15 +215,17 @@ func New(cfg Config) (*Warehouse, error) {
 	if ledger == nil {
 		ledger = meter.NewLedger()
 	}
-	var store kv.Store
+	var baseStore kv.Store
 	switch cfg.Backend {
 	case "", dynamodb.Backend:
-		store = dynamodb.New(ledger)
+		baseStore = dynamodb.New(ledger)
 	case simpledb.Backend:
-		store = simpledb.New(ledger)
+		baseStore = simpledb.New(ledger)
 	default:
 		return nil, fmt.Errorf("core: unknown backend %q", cfg.Backend)
 	}
+	baseFiles := s3.New(ledger)
+	baseQueues := sqs.New(ledger)
 	w := &Warehouse{
 		Strategy:      cfg.Strategy,
 		Perf:          cfg.Perf.withDefaults(),
@@ -181,10 +233,23 @@ func New(cfg Config) (*Warehouse, error) {
 		queryWorkers:  cfg.QueryWorkers,
 		lookupOpts:    index.LookupOptions{Concurrency: cfg.QueryLookupConcurrency},
 		ledger:        ledger,
-		files:         s3.New(ledger),
-		store:         store,
-		queues:        sqs.New(ledger),
-		uuids:         index.NewUUIDGen(cfg.Seed + 1),
+		files:         baseFiles,
+		store:         baseStore,
+		queues:        baseQueues,
+		baseFiles:     baseFiles,
+		baseStore:     baseStore,
+		baseQueues:    baseQueues,
+	}
+	if cfg.Chaos != nil {
+		// One injector drives all three wrappers, so a single seed fixes
+		// the whole fault schedule; the retry layer in front of the store
+		// absorbs the injected kv faults (and any real throttling).
+		w.chaosInj = chaos.NewInjector(*cfg.Chaos)
+		w.files = chaos.WrapFiles(baseFiles, w.chaosInj)
+		w.queues = chaos.WrapQueues(baseQueues, w.chaosInj)
+		w.retry = kv.NewRetry(chaos.WrapStore(baseStore, w.chaosInj))
+		w.retry.Seed = cfg.Chaos.Seed + 1
+		w.store = w.retry
 	}
 	if cfg.PostingCacheBytes > 0 {
 		w.cache = index.NewPostingCache(cfg.PostingCacheBytes)
@@ -198,10 +263,14 @@ func New(cfg Config) (*Warehouse, error) {
 			return nil, err
 		}
 	}
-	if err := w.queues.SetRedrivePolicy(LoaderQueue, LoaderDeadLetters, MaxLoadAttempts); err != nil {
+	maxAttempts := cfg.MaxLoadAttempts
+	if maxAttempts <= 0 {
+		maxAttempts = MaxLoadAttempts
+	}
+	if err := w.queues.SetRedrivePolicy(LoaderQueue, LoaderDeadLetters, maxAttempts); err != nil {
 		return nil, err
 	}
-	if err := index.CreateTables(store, cfg.Strategy); err != nil {
+	if err := index.CreateTables(baseStore, cfg.Strategy); err != nil {
 		return nil, err
 	}
 	return w, nil
@@ -210,17 +279,47 @@ func New(cfg Config) (*Warehouse, error) {
 // Ledger exposes the metering ledger (billing, experiment measurements).
 func (w *Warehouse) Ledger() *meter.Ledger { return w.ledger }
 
-// Files exposes the file store.
-func (w *Warehouse) Files() *s3.Service { return w.files }
+// Files exposes the underlying file store (unwrapped: reads through it see
+// the true stored objects even under chaos).
+func (w *Warehouse) Files() *s3.Service { return w.baseFiles }
 
-// Store exposes the index store.
+// Store exposes the index store the warehouse operates on — the retry-
+// fronted chaos wrapper when Config.Chaos is set, the bare store otherwise.
 func (w *Warehouse) Store() kv.Store { return w.store }
 
-// Queues exposes the queue service.
-func (w *Warehouse) Queues() *sqs.Service { return w.queues }
+// BaseStore exposes the unwrapped index store, e.g. for dumping table
+// contents in differential tests.
+func (w *Warehouse) BaseStore() kv.Store { return w.baseStore }
+
+// Queues exposes the underlying queue service (unwrapped; queue lengths
+// and DLQ inspection are unaffected by chaos wrapping).
+func (w *Warehouse) Queues() *sqs.Service { return w.baseQueues }
+
+// ChaosInjector exposes the chaos decision source, or nil when no chaos
+// layer is configured; tests use it to change rates mid-run (e.g. quiesce
+// injection before a verification phase).
+func (w *Warehouse) ChaosInjector() *chaos.Injector { return w.chaosInj }
+
+// ChaosCounts reports the faults injected so far (zero value when no chaos
+// layer is configured).
+func (w *Warehouse) ChaosCounts() chaos.Counts {
+	if w.chaosInj == nil {
+		return chaos.Counts{}
+	}
+	return w.chaosInj.Counts()
+}
+
+// RetryStats reports the degradation absorbed by the store retry layer
+// (zero value when no chaos layer is configured).
+func (w *Warehouse) RetryStats() kv.RetryStats {
+	if w.retry == nil {
+		return kv.RetryStats{}
+	}
+	return w.retry.RetryStats()
+}
 
 // DataBytes returns the stored document bytes (s(D)).
-func (w *Warehouse) DataBytes() int64 { return w.files.BucketBytes(Bucket) }
+func (w *Warehouse) DataBytes() int64 { return w.baseFiles.BucketBytes(Bucket) }
 
 // IndexBytes returns the index store footprint: raw user bytes and the
 // store's own overhead (sr(D,I) and ovh(D,I) of Section 7.1).
@@ -288,12 +387,3 @@ func (w *Warehouse) docWorkers() int {
 	return runtime.NumCPU()
 }
 
-// forkWorkerUUIDs hands the next live worker its own identifier generator,
-// so concurrent loaders never contend on one PRNG lock (and, for a fixed
-// worker count, stay reproducible).
-func (w *Warehouse) forkWorkerUUIDs() *index.UUIDGen {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	w.workerSeq++
-	return w.uuids.Fork(w.workerSeq)
-}

@@ -104,9 +104,10 @@ type Worker struct {
 	crashed chan struct{}
 	done    sync.WaitGroup
 
-	mu        sync.Mutex
-	processed int
-	failures  int
+	mu          sync.Mutex
+	processed   int
+	failures    int
+	redelivered int
 }
 
 // Processed reports how many messages the worker completed.
@@ -121,6 +122,24 @@ func (wk *Worker) Failures() int {
 	wk.mu.Lock()
 	defer wk.mu.Unlock()
 	return wk.failures
+}
+
+// Redeliveries reports how many of the worker's received messages were
+// redeliveries (receive count above one) — deliveries absorbed by the
+// idempotent write path after crashes, lease expiries or duplicate
+// delivery.
+func (wk *Worker) Redeliveries() int {
+	wk.mu.Lock()
+	defer wk.mu.Unlock()
+	return wk.redelivered
+}
+
+func (wk *Worker) noteReceive(receiveCount int) {
+	if receiveCount > 1 {
+		wk.mu.Lock()
+		wk.redelivered++
+		wk.mu.Unlock()
+	}
 }
 
 // Stop drains the worker gracefully: it finishes (and acknowledges) its
@@ -186,7 +205,6 @@ func (o WorkerOptions) withDefaults() WorkerOptions {
 func (w *Warehouse) StartIndexer(in *ec2.Instance, opts WorkerOptions) *Worker {
 	opts = opts.withDefaults()
 	wk := newWorker(in)
-	uuids := w.forkWorkerUUIDs()
 	wk.done.Add(1)
 	go func() {
 		defer wk.done.Done()
@@ -197,6 +215,7 @@ func (w *Warehouse) StartIndexer(in *ec2.Instance, opts WorkerOptions) *Worker {
 			if err != nil || msg == nil {
 				continue
 			}
+			wk.noteReceive(msg.ReceiveCount)
 			stopRenew := w.renewLease(wk, LoaderQueue, msg.Receipt, opts.Visibility)
 			if opts.WorkDelay > 0 {
 				time.Sleep(opts.WorkDelay)
@@ -205,7 +224,7 @@ func (w *Warehouse) StartIndexer(in *ec2.Instance, opts WorkerOptions) *Worker {
 				stopRenew()
 				return
 			}
-			res, err := w.indexDocument(in, msg.Body, uuids)
+			res, err := w.indexDocument(in, msg.Body)
 			stopRenew()
 			if wk.crashedNow() {
 				return
@@ -243,6 +262,7 @@ func (w *Warehouse) StartQueryProcessor(in *ec2.Instance, opts WorkerOptions) *W
 			if err != nil || msg == nil {
 				continue
 			}
+			wk.noteReceive(msg.ReceiveCount)
 			stopRenew := w.renewLease(wk, QueryQueue, msg.Receipt, opts.Visibility)
 			if opts.WorkDelay > 0 {
 				time.Sleep(opts.WorkDelay)

@@ -25,11 +25,13 @@ type IndexTaskResult struct {
 }
 
 // indexDocument performs the work of one loader message on one instance
-// core, stamping new items with identifiers from uuids (the warehouse
-// generator for the synchronous drivers; a forked per-worker generator in
-// the live loops, so concurrent loaders never contend on one PRNG lock).
-// The returned durations are modeled; the caller schedules them.
-func (w *Warehouse) indexDocument(in *ec2.Instance, uri string, uuids *index.UUIDGen) (IndexTaskResult, error) {
+// core. New items carry range keys derived deterministically from their
+// content identity (index.ItemRangeKey), so running the same message twice
+// — after a crash, a lease expiry or a duplicated delivery — overwrites
+// rather than duplicates: indexing is idempotent, and at-least-once queue
+// delivery yields exactly-once index contents. The returned durations are
+// modeled; the caller schedules them.
+func (w *Warehouse) indexDocument(in *ec2.Instance, uri string) (IndexTaskResult, error) {
 	res := IndexTaskResult{URI: uri}
 	obj, fetch, err := w.files.Get(Bucket, DocKey(uri))
 	if err != nil {
@@ -44,7 +46,7 @@ func (w *Warehouse) indexDocument(in *ec2.Instance, uri string, uuids *index.UUI
 	res.ExtractTime = fetch +
 		in.ComputeDuration(res.DocBytes, w.Perf.ParseBytesPerECUSec) +
 		in.ComputeDuration(ex.Bytes, w.Perf.ExtractBytesPerECUSec)
-	upload, stats, err := index.WriteExtraction(w.store, ex, uuids, w.cache)
+	upload, stats, err := index.WriteExtraction(w.store, ex, w.cache)
 	if err != nil {
 		return res, err
 	}
@@ -113,12 +115,18 @@ func (w *Warehouse) IndexCorpusOn(fleet []*ec2.Instance, uris []string) (IndexRe
 			break
 		}
 		in := fleet[i%len(fleet)]
-		res, err := w.indexDocument(in, msg.Body, w.uuids)
+		res, err := w.indexDocument(in, msg.Body)
 		if err != nil {
+			// Release the lease before bailing out: the message becomes
+			// visible again immediately, so a rerun of the driver (or a
+			// live worker) can pick it up instead of waiting out the
+			// 5-minute lease on a message nobody is processing.
+			w.nackLoaderMessage(msg.Receipt)
 			return report, fmt.Errorf("core: indexing %s: %w", msg.Body, err)
 		}
 		drtt, err := w.deleteLoaderMessage(msg.Receipt)
 		if err != nil {
+			w.nackLoaderMessage(msg.Receipt)
 			return report, err
 		}
 		in.Run(rtt + res.ExtractTime + res.UploadTime + drtt)
@@ -146,6 +154,13 @@ func (w *Warehouse) IndexCorpusOn(fleet []*ec2.Instance, uris []string) (IndexRe
 
 func (w *Warehouse) deleteLoaderMessage(receipt string) (time.Duration, error) {
 	return w.queues.Delete(LoaderQueue, receipt)
+}
+
+// nackLoaderMessage releases a leased loader message back to visible. A
+// stale receipt (the lease already expired or another receiver holds the
+// message) is fine: the message is already available again.
+func (w *Warehouse) nackLoaderMessage(receipt string) {
+	w.queues.ChangeVisibility(LoaderQueue, receipt, 0)
 }
 
 // RemoveDocument drops a document from the warehouse: its index entries

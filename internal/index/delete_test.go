@@ -16,12 +16,11 @@ func TestDeleteDocumentRemovesOnlyItsItems(t *testing.T) {
 		if err := CreateTables(store, s); err != nil {
 			t.Fatal(err)
 		}
-		uuids := NewUUIDGen(6)
 		opts := OptionsFor(store)
 		docs := xmark.Paintings()
 		for _, gd := range docs {
 			d := parseDoc(t, gd.URI, string(gd.Data))
-			if _, _, err := LoadDocument(store, s, d, uuids, opts); err != nil {
+			if _, _, err := LoadDocument(store, s, d, opts); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -71,11 +70,10 @@ func TestDeleteItemAccounting(t *testing.T) {
 	store := dynamodb.New(meter.NewLedger())
 	store.CreateTable("t")
 	d := parseDoc(t, "manet.xml", xmark.ManetXML)
-	uuids := NewUUIDGen(7)
 	if err := CreateTables(store, LU); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := LoadDocument(store, LU, d, uuids, OptionsFor(store)); err != nil {
+	if _, _, err := LoadDocument(store, LU, d, OptionsFor(store)); err != nil {
 		t.Fatal(err)
 	}
 	if _, _, err := DeleteDocument(store, LU, d, OptionsFor(store)); err != nil {

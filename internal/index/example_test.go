@@ -30,14 +30,13 @@ func ExampleExtract() {
 // then look a query up under each strategy.
 func ExampleLookupPattern() {
 	store := dynamodb.New(meter.NewLedger())
-	uuids := index.NewUUIDGen(1)
 	for _, s := range index.All() {
 		index.CreateTables(store, s)
 	}
 	for _, gd := range xmark.Paintings() {
 		doc, _ := xmltree.Parse(gd.URI, gd.Data)
 		for _, s := range index.All() {
-			index.LoadDocument(store, s, doc, uuids, index.OptionsFor(store))
+			index.LoadDocument(store, s, doc, index.OptionsFor(store))
 		}
 	}
 	q := pattern.MustParse(`//painting[/name~"Lion", /painter[/name[/last]]]`).Patterns[0]

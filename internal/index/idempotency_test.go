@@ -1,0 +1,113 @@
+package index
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/cloud/dynamodb"
+	"repro/internal/cloud/simpledb"
+	"repro/internal/meter"
+	"repro/internal/xmark"
+	"repro/internal/xmltree"
+)
+
+func TestItemRangeKeyDeterministicAndDistinct(t *testing.T) {
+	a := ItemRangeKey("u1", "t", "k", 0)
+	if a != ItemRangeKey("u1", "t", "k", 0) {
+		t.Error("same identity, different keys")
+	}
+	if len(a) != 32 {
+		t.Errorf("key %q has length %d, want 32 (UUID-width hex)", a, len(a))
+	}
+	seen := map[string]string{}
+	for _, id := range [][4]string{
+		{"u1", "t", "k", "0"},
+		{"u2", "t", "k", "0"},
+		{"u1", "t2", "k", "0"},
+		{"u1", "t", "k2", "0"},
+		{"u1", "t", "k", "1"},
+		// Length prefixing keeps concatenation ambiguity out: ("ab","c")
+		// and ("a","bc") must not collide.
+		{"ab", "c", "k", "0"},
+		{"a", "bc", "k", "0"},
+	} {
+		ord := 0
+		fmt.Sscan(id[3], &ord)
+		k := ItemRangeKey(id[0], id[1], id[2], ord)
+		if prev, dup := seen[k]; dup {
+			t.Errorf("identities %v and %s collide on %s", id, prev, k)
+		}
+		seen[k] = fmt.Sprint(id)
+	}
+}
+
+// Reloading a document — what a crashed worker's redelivered task does —
+// must leave the store byte-identical to a single load: deterministic range
+// keys turn the re-put into an overwrite.
+func TestReloadIsIdempotent(t *testing.T) {
+	docs := xmark.Paintings()
+	for _, s := range []Strategy{LU, LUP, LUI, TwoLUPI} {
+		store := dynamodb.New(meter.NewLedger())
+		if err := CreateTables(store, s); err != nil {
+			t.Fatal(err)
+		}
+		opts := OptionsFor(store)
+		var parsed []*xmltree.Document
+		for _, gd := range docs {
+			d, err := xmltree.Parse(gd.URI, gd.Data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			parsed = append(parsed, d)
+			if _, _, err := LoadDocument(store, s, d, opts); err != nil {
+				t.Fatal(err)
+			}
+		}
+		counts := map[string]int64{}
+		for _, tbl := range s.Tables() {
+			counts[tbl] = store.ItemCount(tbl)
+		}
+		// Load every document again, twice.
+		for i := 0; i < 2; i++ {
+			for _, d := range parsed {
+				if _, _, err := LoadDocument(store, s, d, opts); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		for _, tbl := range s.Tables() {
+			if got := store.ItemCount(tbl); got != counts[tbl] {
+				t.Errorf("%s/%s: %d items after reload, want %d (duplicates)", s.Name(), tbl, got, counts[tbl])
+			}
+			for _, it := range store.DumpTable(tbl) {
+				if len(it.Attrs) != 1 {
+					t.Errorf("%s/%s item %s/%s has %d attrs, want 1", s.Name(), tbl, it.HashKey, it.RangeKey, len(it.Attrs))
+				}
+			}
+		}
+	}
+}
+
+// The text-only SimpleDB path must stay idempotent too.
+func TestReloadIsIdempotentOnSimpleDB(t *testing.T) {
+	store := simpledb.New(meter.NewLedger())
+	if err := CreateTables(store, LUP); err != nil {
+		t.Fatal(err)
+	}
+	opts := OptionsFor(store)
+	gd := xmark.Paintings()[0]
+	d, err := xmltree.Parse(gd.URI, gd.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := LoadDocument(store, LUP, d, opts); err != nil {
+		t.Fatal(err)
+	}
+	before := store.ItemCount(LUP.Tables()[0])
+	if _, _, err := LoadDocument(store, LUP, d, opts); err != nil {
+		t.Fatal(err)
+	}
+	if got := store.ItemCount(LUP.Tables()[0]); got != before {
+		t.Errorf("items after reload = %d, want %d", got, before)
+	}
+}

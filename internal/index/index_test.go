@@ -357,11 +357,10 @@ func newStore(t *testing.T, s Strategy) kv.Store {
 
 func loadCorpus(t *testing.T, store kv.Store, s Strategy, docs []xmark.Doc) {
 	t.Helper()
-	uuids := NewUUIDGen(1)
 	opts := OptionsFor(store)
 	for _, gd := range docs {
 		d := parseDoc(t, gd.URI, string(gd.Data))
-		if _, _, err := LoadDocument(store, s, d, uuids, opts); err != nil {
+		if _, _, err := LoadDocument(store, s, d, opts); err != nil {
 			t.Fatalf("loading %s: %v", gd.URI, err)
 		}
 	}
@@ -403,7 +402,7 @@ func TestStorageSplitsOversizedEntries(t *testing.T) {
 	if err := CreateTables(sdb, LUI); err != nil {
 		t.Fatal(err)
 	}
-	dur, stats, err := LoadDocument(sdb, LUI, d, NewUUIDGen(2), OptionsFor(sdb))
+	dur, stats, err := LoadDocument(sdb, LUI, d, OptionsFor(sdb))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -46,6 +46,11 @@ type LookupStats struct {
 	CacheHits      int64
 	CacheMisses    int64
 	CacheEvictions int64
+	// StoreRetries counts store-level retry attempts absorbed while serving
+	// this look-up, when the store is wrapped in kv.Retry. It surfaces
+	// degradation (throttling, injected chaos) that the result itself hides;
+	// exact for a single-reader store, advisory under concurrent readers.
+	StoreRetries int64
 }
 
 func (s *LookupStats) add(o LookupStats) {
@@ -56,6 +61,7 @@ func (s *LookupStats) add(o LookupStats) {
 	s.CacheHits += o.CacheHits
 	s.CacheMisses += o.CacheMisses
 	s.CacheEvictions += o.CacheEvictions
+	s.StoreRetries += o.StoreRetries
 }
 
 // statsFromRead folds a ReadKeys summary into look-up statistics.
@@ -67,6 +73,7 @@ func statsFromRead(rs ReadStats) LookupStats {
 		CacheHits:      rs.CacheHits,
 		CacheMisses:    rs.CacheMisses,
 		CacheEvictions: rs.CacheEvictions,
+		StoreRetries:   rs.StoreRetries,
 	}
 }
 

@@ -25,7 +25,6 @@ type corpus struct {
 func buildCorpus(t *testing.T, store kv.Store, docs []xmark.Doc) *corpus {
 	t.Helper()
 	c := &corpus{store: store}
-	uuids := NewUUIDGen(3)
 	opts := OptionsFor(store)
 	for _, s := range All() {
 		if err := CreateTables(store, s); err != nil {
@@ -39,7 +38,7 @@ func buildCorpus(t *testing.T, store kv.Store, docs []xmark.Doc) *corpus {
 		}
 		c.docs = append(c.docs, d)
 		for _, s := range All() {
-			if _, _, err := LoadDocument(store, s, d, uuids, opts); err != nil {
+			if _, _, err := LoadDocument(store, s, d, opts); err != nil {
 				t.Fatal(err)
 			}
 		}

@@ -83,7 +83,6 @@ func TestCachedLookupCoherence(t *testing.T) {
 		}
 	}
 	cache := NewPostingCache(32 << 20)
-	uuids := NewUUIDGen(3)
 	opts := OptionsFor(store)
 
 	var docs []*xmltree.Document
@@ -95,7 +94,7 @@ func TestCachedLookupCoherence(t *testing.T) {
 			}
 			docs = append(docs, d)
 			for _, s := range All() {
-				if _, _, err := LoadDocument(store, s, d, uuids, opts, cache); err != nil {
+				if _, _, err := LoadDocument(store, s, d, opts, cache); err != nil {
 					t.Fatal(err)
 				}
 			}

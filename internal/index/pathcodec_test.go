@@ -136,13 +136,12 @@ func TestCompressedLookupEquivalence(t *testing.T) {
 				t.Fatal(err)
 			}
 		}
-		uuids := NewUUIDGen(9)
 		opts := OptionsFor(store)
 		opts.CompressPaths = compress
 		for _, gd := range docs {
 			d := parseDoc(t, gd.URI, string(gd.Data))
 			for _, s := range []Strategy{LUP, TwoLUPI} {
-				if _, _, err := LoadDocument(store, s, d, uuids, opts); err != nil {
+				if _, _, err := LoadDocument(store, s, d, opts); err != nil {
 					t.Fatal(err)
 				}
 			}

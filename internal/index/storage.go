@@ -1,6 +1,9 @@
 package index
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -12,12 +15,42 @@ import (
 	"repro/internal/xmltree"
 )
 
+// ItemRangeKey derives the range key of an index item deterministically
+// from its identity: the document it came from, the table and hash key it
+// lives under, and the ordinal of the value chunk when an entry is split
+// across several items. The paper uses random UUIDs here (Section 6) so
+// that concurrent virtual machines never overwrite each other; content
+// derivation keeps that property — distinct documents and distinct chunks
+// hash to distinct keys — while additionally making writes idempotent:
+// when a crashed or redelivered indexing task re-extracts the same
+// document, it produces byte-identical items under identical keys, so a
+// re-put overwrites instead of duplicating. That turns SQS's at-least-once
+// delivery into exactly-once index contents with no coordination.
+//
+// The key is the first 16 bytes of a domain-separated SHA-256, hex encoded
+// — the same width as the UUIDs it replaces.
+func ItemRangeKey(uri, table, key string, ordinal int) string {
+	h := sha256.New()
+	var len4 [4]byte
+	for _, part := range []string{uri, table, key} {
+		binary.BigEndian.PutUint32(len4[:], uint32(len(part)))
+		h.Write(len4[:])
+		h.Write([]byte(part))
+	}
+	binary.BigEndian.PutUint32(len4[:], uint32(ordinal))
+	h.Write(len4[:])
+	sum := h.Sum(nil)
+	return hex.EncodeToString(sum[:16])
+}
+
 // UUIDGen produces RFC 4122-shaped version-4 identifiers from a seeded
 // PRNG. The paper uses UUIDs as DynamoDB range keys so that items can be
 // inserted concurrently from multiple virtual machines without overwrites
-// (Section 6); a seeded generator keeps the simulation reproducible. It is
+// (Section 6); the index layer has since moved to deterministic
+// content-derived range keys (ItemRangeKey) for idempotency, and the
+// generator remains for code that needs reproducible identifiers. It is
 // safe for concurrent use, but the single lock serializes all callers;
-// concurrent loaders should each Fork their own generator instead of
+// concurrent users should each Fork their own generator instead of
 // sharing one.
 type UUIDGen struct {
 	seed int64
@@ -108,18 +141,23 @@ func OptionsFor(store kv.Store) Options {
 // LoadDocument extracts the document's entries under the strategy and
 // writes them to the store in batch puts, returning the modeled store
 // latency and load statistics. Entries whose values exceed the store's item
-// budget are split across several UUID-ranged items. Any caches fronting
-// the store must be passed so their entries for the touched keys are
-// invalidated.
-func LoadDocument(store kv.Store, s Strategy, doc *xmltree.Document, uuids *UUIDGen, opts Options, caches ...*PostingCache) (time.Duration, LoadStats, error) {
+// budget are split across several items whose range keys are derived
+// deterministically from (document, table, key, chunk ordinal), so
+// reloading the same document overwrites its items instead of duplicating
+// them. Any caches fronting the store must be passed so their entries for
+// the touched keys are invalidated.
+func LoadDocument(store kv.Store, s Strategy, doc *xmltree.Document, opts Options, caches ...*PostingCache) (time.Duration, LoadStats, error) {
 	ex := Extract(s, doc, opts)
-	return WriteExtraction(store, ex, uuids, caches...)
+	return WriteExtraction(store, ex, caches...)
 }
 
 // WriteExtraction writes a precomputed extraction to the store and
 // invalidates the touched keys in the given posting caches (even on error,
-// since a failed batch may have partially landed).
-func WriteExtraction(store kv.Store, ex *Extraction, uuids *UUIDGen, caches ...*PostingCache) (time.Duration, LoadStats, error) {
+// since a failed batch may have partially landed). Item range keys come
+// from ItemRangeKey, making the write idempotent: repeating it — after a
+// worker crash, a duplicated queue delivery, or a partially applied batch
+// — converges to the same store contents.
+func WriteExtraction(store kv.Store, ex *Extraction, caches ...*PostingCache) (time.Duration, LoadStats, error) {
 	defer func() {
 		for _, c := range caches {
 			c.InvalidateExtraction(ex)
@@ -161,10 +199,10 @@ func WriteExtraction(store kv.Store, ex *Extraction, uuids *UUIDGen, caches ...*
 	for _, table := range sortedTables(ex) {
 		for _, e := range ex.Tables[table] {
 			stats.Entries++
-			for _, values := range splitValues(e.Values, itemBudget, int64(len(e.Key)+len(ex.URI))) {
+			for ordinal, values := range splitValues(e.Values, itemBudget, int64(len(e.Key)+len(ex.URI))) {
 				item := kv.Item{
 					HashKey:  e.Key,
-					RangeKey: uuids.Next(),
+					RangeKey: ItemRangeKey(ex.URI, table, e.Key, ordinal),
 					Attrs:    []kv.Attr{{Name: ex.URI, Values: values}},
 				}
 				batch = append(batch, item)
@@ -260,6 +298,11 @@ type ReadStats struct {
 	CacheHits      int64
 	CacheMisses    int64
 	CacheEvictions int64
+	// StoreRetries counts store-level retry attempts absorbed during this
+	// read, when the store is a kv.Retry (or any kv.RetryStatsSource). The
+	// number is exact for a store serving one reader and advisory under
+	// concurrent readers, whose retries land in whichever read is in flight.
+	StoreRetries int64
 }
 
 // ReadKeys batch-fetches several hash keys and returns per-key postings.
@@ -269,10 +312,19 @@ type ReadStats struct {
 // fetch goroutines. The result and the billed statistics are identical to
 // a sequential read: per-chunk latencies and byte counts are summed in
 // chunk order, and key sets of distinct chunks are disjoint.
-func ReadKeys(store kv.Store, table string, keys []string, kind PostingKind, binaryIDs bool, opts ...LookupOptions) (map[string]map[string]*Posting, ReadStats, error) {
+func ReadKeys(store kv.Store, table string, keys []string, kind PostingKind, binaryIDs bool, opts ...LookupOptions) (out map[string]map[string]*Posting, rs ReadStats, err error) {
 	opt := resolveLookup(opts)
-	var rs ReadStats
-	out := make(map[string]map[string]*Posting, len(keys))
+	retrySrc, _ := store.(kv.RetryStatsSource)
+	var retriesBefore int64
+	if retrySrc != nil {
+		retriesBefore = retrySrc.RetryStats().Retries
+	}
+	defer func() {
+		if retrySrc != nil {
+			rs.StoreRetries = retrySrc.RetryStats().Retries - retriesBefore
+		}
+	}()
+	out = make(map[string]map[string]*Posting, len(keys))
 
 	fetch := keys
 	if opt.Cache != nil {
