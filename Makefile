@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench check
+.PHONY: build test race vet bench benchsmoke check
 
 build:
 	$(GO) build ./...
@@ -19,5 +19,12 @@ race:
 # exercises the concurrent paths).
 check: vet race
 
+# bench regenerates benchall_output.txt (untracked; see .gitignore) from
+# the full default-scale evaluation.
 bench:
+	$(GO) run ./cmd/benchall | tee benchall_output.txt
+
+# benchsmoke runs every Go benchmark exactly once — the CI smoke check
+# that the benchmark harness itself still works.
+benchsmoke:
 	$(GO) test -bench . -benchtime 1x -run xxx ./...

@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/cloud/ec2"
+	"repro/internal/core"
 )
 
 func main() {
@@ -75,11 +76,20 @@ func main() {
 
 	if sel("table4") {
 		fmt.Println(bench.Table4(env.Rows, frac))
+		// The same corpus again with the cross-document bulk loader, for
+		// the uploading/total deltas and the billed-request reduction.
+		bulkRows, err := bench.RunIndexingCfg(corpus, core.Config{BulkLoad: true}, 8, ec2.Large)
+		check(err)
+		fmt.Println(bench.Table4Bulk(env.Rows, bulkRows, frac))
 	}
 	if sel("fig7") {
 		points, err := bench.RunFig7(corpus, 8, ec2.Large)
 		check(err)
 		fmt.Println(bench.Fig7(points))
+		bulkPoints, err := bench.RunFig7Cfg(corpus, core.Config{BulkLoad: true}, 8, ec2.Large)
+		check(err)
+		fmt.Println(bench.Fig7Titled(bulkPoints,
+			"Figure 7 (bulk loading): indexing time (modeled seconds) vs corpus size, 8 large instances"))
 	}
 	if sel("fig8") {
 		rows, xmlBytes, err := bench.RunFig8(corpus)

@@ -1,0 +1,248 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/cloud/dynamodb"
+	"repro/internal/cloud/ec2"
+	"repro/internal/cloud/kv"
+	"repro/internal/core"
+	"repro/internal/index"
+	"repro/internal/meter"
+)
+
+// This file holds the acceptance test and the micro-benchmarks of the
+// cross-document bulk loader (Table 4 / Figure 7 with BulkLoad enabled).
+
+var (
+	bulkOnce   sync.Once
+	bulkCorpus *Corpus
+	bulkErr    error
+)
+
+// bulkAcceptanceCorpus is the default 400-document corpus the acceptance
+// criterion is stated against, built once and shared by the subtests.
+func bulkAcceptanceCorpus(t *testing.T) *Corpus {
+	t.Helper()
+	bulkOnce.Do(func() { bulkCorpus, bulkErr = NewCorpus(Default()) })
+	if bulkErr != nil {
+		t.Fatal(bulkErr)
+	}
+	return bulkCorpus
+}
+
+// newUnbatchedStore returns a DynamoDB-shaped store whose batch limit is a
+// single item, so every index item is billed as its own put request — the
+// unbatched baseline of RunAblationBatching.
+func newUnbatchedStore(ledger *meter.Ledger) *kv.MemStore {
+	return kv.NewMemStore(kv.Config{
+		Backend: dynamodb.Backend,
+		Limits: kv.Limits{
+			MaxItemBytes:   dynamodb.MaxItemBytes,
+			MaxValueBytes:  dynamodb.MaxItemBytes,
+			BatchPutItems:  1,
+			BatchGetKeys:   100,
+			SupportsBinary: true,
+		},
+		Perf:            dynamodb.DefaultPerf(),
+		PerItemOverhead: 100,
+		Ledger:          ledger,
+	})
+}
+
+func dumpTables(t *testing.T, store kv.Store, s index.Strategy) map[string][]kv.Item {
+	t.Helper()
+	dumper, ok := store.(interface{ DumpTable(string) []kv.Item })
+	if !ok {
+		t.Fatalf("store %T cannot dump tables", store)
+	}
+	out := map[string][]kv.Item{}
+	for _, tbl := range s.Tables() {
+		out[tbl] = dumper.DumpTable(tbl)
+	}
+	return out
+}
+
+func itemString(it kv.Item) string {
+	s := it.HashKey + "|" + it.RangeKey
+	for _, a := range it.Attrs {
+		s += "|" + a.Name
+		for _, v := range a.Values {
+			s += fmt.Sprintf("|%x", v)
+		}
+	}
+	return s
+}
+
+func compareDumps(t *testing.T, label string, want, got map[string][]kv.Item, s index.Strategy) {
+	t.Helper()
+	for _, tbl := range s.Tables() {
+		if len(want[tbl]) != len(got[tbl]) {
+			t.Errorf("%s: table %s has %d items, want %d", label, tbl, len(got[tbl]), len(want[tbl]))
+			continue
+		}
+		for i := range want[tbl] {
+			if itemString(want[tbl][i]) != itemString(got[tbl][i]) {
+				t.Errorf("%s: table %s item %d differs", label, tbl, i)
+				break
+			}
+		}
+	}
+}
+
+// TestBulkLoadRequestReduction is the acceptance criterion of the bulk
+// loader: on the default 400-document corpus, for every strategy, bulk
+// loading bills at least 2x fewer index-store write requests than the
+// unbatched (one put per item) path and strictly fewer than the
+// per-document batch loader — in fact exactly the packing floor
+// sum_tables ceil(items/BatchPutItems) — while leaving the store contents
+// byte-identical to both and the corpus totals unchanged.
+func TestBulkLoadRequestReduction(t *testing.T) {
+	if testing.Short() {
+		t.Skip("default-scale acceptance test")
+	}
+	c := bulkAcceptanceCorpus(t)
+	for _, s := range Strategies() {
+		t.Run(s.Name(), func(t *testing.T) {
+			perDocW, perDocRep, _, err := BuildWarehouse(c, s, "", 8, ec2.Large)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bulkW, bulkRep, _, err := BuildWarehouseCfg(c, core.Config{Strategy: s, BulkLoad: true}, 8, ec2.Large)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Unbatched baseline: same corpus, one put per item.
+			ledger := meter.NewLedger()
+			unbatched := newUnbatchedStore(ledger)
+			if err := index.CreateTables(unbatched, s); err != nil {
+				t.Fatal(err)
+			}
+			opts := index.OptionsFor(unbatched)
+			for _, d := range c.Parsed {
+				if _, _, err := index.LoadDocument(unbatched, s, d, opts); err != nil {
+					t.Fatal(err)
+				}
+			}
+			unbatchedReqs := int(ledger.Snapshot().Get(dynamodb.Backend, "put").Calls)
+
+			if bulkRep.Docs != perDocRep.Docs || bulkRep.DataBytes != perDocRep.DataBytes ||
+				bulkRep.Entries != perDocRep.Entries || bulkRep.Items != perDocRep.Items {
+				t.Errorf("bulk corpus totals %+v differ from per-doc %+v", bulkRep, perDocRep)
+			}
+			if 2*bulkRep.Requests > unbatchedReqs {
+				t.Errorf("bulk billed %d put requests, not >=2x below unbatched %d",
+					bulkRep.Requests, unbatchedReqs)
+			}
+			if bulkRep.Requests >= perDocRep.Requests {
+				t.Errorf("bulk billed %d put requests, per-document %d", bulkRep.Requests, perDocRep.Requests)
+			}
+
+			bulkDump := dumpTables(t, bulkW.BaseStore(), s)
+			batchLimit := bulkW.BaseStore().Limits().BatchPutItems
+			floor := 0
+			for _, tbl := range s.Tables() {
+				floor += (len(bulkDump[tbl]) + batchLimit - 1) / batchLimit
+			}
+			if bulkRep.Requests != floor {
+				t.Errorf("bulk billed %d put requests, packing floor is %d", bulkRep.Requests, floor)
+			}
+
+			compareDumps(t, "bulk vs per-doc", dumpTables(t, perDocW.BaseStore(), s), bulkDump, s)
+			compareDumps(t, "bulk vs unbatched", dumpTables(t, unbatched, s), bulkDump, s)
+		})
+	}
+}
+
+// benchExtractions precomputes every document's extraction so the
+// benchmarks measure only the write path.
+func benchExtractions(b *testing.B, c *Corpus, s index.Strategy, store kv.Store) []*index.Extraction {
+	b.Helper()
+	opts := index.OptionsFor(store)
+	exs := make([]*index.Extraction, len(c.Parsed))
+	for i, d := range c.Parsed {
+		exs[i] = index.Extract(s, d, opts)
+	}
+	return exs
+}
+
+// BenchmarkWriteExtraction is the per-document write path: one batch
+// sequence per document. Reports modeled upload seconds and billed store
+// requests per document.
+func BenchmarkWriteExtraction(b *testing.B) {
+	c, err := NewCorpus(Tiny())
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := index.LUP
+	var upload float64
+	var requests int
+	for i := 0; i < b.N; i++ {
+		ledger := meter.NewLedger()
+		store := dynamodb.New(ledger)
+		if err := index.CreateTables(store, s); err != nil {
+			b.Fatal(err)
+		}
+		exs := benchExtractions(b, c, s, store)
+		b.ResetTimer()
+		upload, requests = 0, 0
+		for _, ex := range exs {
+			d, stats, err := index.WriteExtraction(store, ex)
+			if err != nil {
+				b.Fatal(err)
+			}
+			upload += d.Seconds()
+			requests += stats.Requests
+		}
+		b.StopTimer()
+	}
+	b.ReportMetric(upload, "modeled-s")
+	b.ReportMetric(float64(requests)/float64(len(c.Docs)), "requests/doc")
+}
+
+// BenchmarkBulkLoad is the same corpus through the cross-document bulk
+// loader: batches coalesce across documents, so requests/doc drops to the
+// packing floor.
+func BenchmarkBulkLoad(b *testing.B) {
+	c, err := NewCorpus(Tiny())
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := index.LUP
+	var upload float64
+	var requests int
+	for i := 0; i < b.N; i++ {
+		ledger := meter.NewLedger()
+		store := dynamodb.New(ledger)
+		if err := index.CreateTables(store, s); err != nil {
+			b.Fatal(err)
+		}
+		exs := benchExtractions(b, c, s, store)
+		b.ResetTimer()
+		loader := index.NewBulkLoader(store, index.BulkOptions{})
+		var done []index.DocLoad
+		for _, ex := range exs {
+			dl, err := loader.Add(ex)
+			if err != nil {
+				b.Fatal(err)
+			}
+			done = append(done, dl...)
+		}
+		dl, err := loader.Close()
+		if err != nil {
+			b.Fatal(err)
+		}
+		done = append(done, dl...)
+		b.StopTimer()
+		upload, requests = 0, 0
+		for _, d := range done {
+			upload += d.Upload.Seconds()
+			requests += d.Stats.Requests
+		}
+	}
+	b.ReportMetric(upload, "modeled-s")
+	b.ReportMetric(float64(requests)/float64(len(c.Docs)), "requests/doc")
+}

@@ -36,10 +36,20 @@ type IndexingRow struct {
 // corpus on fleetSize instances of the given type, the paper's 8 large.
 // Costs are billed from the metered usage of the run (Table 6).
 func RunIndexing(c *Corpus, backend string, fleetSize int, typ ec2.InstanceType) ([]IndexingRow, error) {
+	return RunIndexingCfg(c, core.Config{Backend: backend}, fleetSize, typ)
+}
+
+// RunIndexingCfg is RunIndexing with a configuration template: every
+// strategy's run copies base (bulk loading, pipeline depth, caches) and
+// sets only the strategy, so the same corpus can be indexed with and
+// without the cross-document bulk loader for side-by-side tables.
+func RunIndexingCfg(c *Corpus, base core.Config, fleetSize int, typ ec2.InstanceType) ([]IndexingRow, error) {
 	book := pricing.Singapore2012()
 	var rows []IndexingRow
 	for _, s := range Strategies() {
-		w, rep, fleet, err := BuildWarehouse(c, s, backend, fleetSize, typ)
+		cfg := base
+		cfg.Strategy = s
+		w, rep, fleet, err := BuildWarehouseCfg(c, cfg, fleetSize, typ)
 		if err != nil {
 			return nil, fmt.Errorf("bench: indexing under %s: %w", s.Name(), err)
 		}
@@ -98,6 +108,34 @@ func Table6(rows []IndexingRow, byteFrac, docsFrac float64) string {
 	return b.String()
 }
 
+// Table4Bulk renders Table 4's uploading and total columns with the
+// cross-document bulk loader next to the per-document loader, plus the
+// billed index-store batch-write requests of each run. rows and bulkRows
+// come from RunIndexing and RunIndexingCfg(BulkLoad: true) on the same
+// corpus; per-strategy order must match (both iterate Strategies()).
+func Table4Bulk(rows, bulkRows []IndexingRow, frac float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 4 (cont.): per-document vs cross-document bulk loading; extrapolated to 40 GB\n")
+	fmt.Fprintf(&b, "%-8s | %-28s | %-28s | %-28s | %-28s | %-22s\n",
+		"Strategy", "Avg upload (per-doc)", "Avg upload (bulk)", "Total (per-doc)", "Total (bulk)", "BatchPut requests")
+	for i, r := range rows {
+		if i >= len(bulkRows) {
+			break
+		}
+		br := bulkRows[i]
+		ratio := 0.0
+		if br.Report.Requests > 0 {
+			ratio = float64(r.Report.Requests) / float64(br.Report.Requests)
+		}
+		fmt.Fprintf(&b, "%-8s | %-28s | %-28s | %-28s | %-28s | %-22s\n",
+			r.Strategy.Name(),
+			scaledHHMM(r.Upload, frac), scaledHHMM(br.Upload, frac),
+			scaledHHMM(r.Total, frac), scaledHHMM(br.Total, frac),
+			fmt.Sprintf("%d -> %d (%.1fx)", r.Report.Requests, br.Report.Requests, ratio))
+	}
+	return b.String()
+}
+
 // Fig7Point is one (size, strategy) measurement of Figure 7.
 type Fig7Point struct {
 	Fraction float64 // of the scale's corpus: 0.25, 0.5, 0.75, 1.0
@@ -109,6 +147,12 @@ type Fig7Point struct {
 // RunFig7 indexes growing prefixes of the corpus (the paper's 10/20/30/40
 // GB points) under every strategy.
 func RunFig7(c *Corpus, fleetSize int, typ ec2.InstanceType) ([]Fig7Point, error) {
+	return RunFig7Cfg(c, core.Config{}, fleetSize, typ)
+}
+
+// RunFig7Cfg is RunFig7 with a configuration template (see RunIndexingCfg),
+// used to regenerate the figure with bulk loading enabled.
+func RunFig7Cfg(c *Corpus, base core.Config, fleetSize int, typ ec2.InstanceType) ([]Fig7Point, error) {
 	var points []Fig7Point
 	for _, frac := range []float64{0.25, 0.5, 0.75, 1.0} {
 		n := int(float64(len(c.Docs)) * frac)
@@ -117,7 +161,9 @@ func RunFig7(c *Corpus, fleetSize int, typ ec2.InstanceType) ([]Fig7Point, error
 			sub.Bytes += int64(len(d.Data))
 		}
 		for _, s := range Strategies() {
-			_, rep, _, err := BuildWarehouse(sub, s, "", fleetSize, typ)
+			cfg := base
+			cfg.Strategy = s
+			_, rep, _, err := BuildWarehouseCfg(sub, cfg, fleetSize, typ)
 			if err != nil {
 				return nil, err
 			}
@@ -129,8 +175,14 @@ func RunFig7(c *Corpus, fleetSize int, typ ec2.InstanceType) ([]Fig7Point, error
 
 // Fig7 renders the indexing-time-vs-size series.
 func Fig7(points []Fig7Point) string {
+	return Fig7Titled(points, "Figure 7: indexing time (modeled seconds) vs corpus size, 8 large instances")
+}
+
+// Fig7Titled renders the Figure 7 series under a custom heading, so the
+// bulk-loading rerun prints under its own title.
+func Fig7Titled(points []Fig7Point, title string) string {
 	var b strings.Builder
-	b.WriteString("Figure 7: indexing time (modeled seconds) vs corpus size, 8 large instances\n")
+	b.WriteString(title + "\n")
 	fmt.Fprintf(&b, "%-10s", "size")
 	for _, s := range Strategies() {
 		fmt.Fprintf(&b, " | %-10s", s.Name())

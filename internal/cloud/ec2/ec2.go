@@ -111,6 +111,16 @@ func (in *Instance) Run(d time.Duration) {
 	in.bill()
 }
 
+// RunScheduled schedules a work item like Run but additionally returns the
+// core chosen, so that follow-on work tied to the same task — e.g. the
+// upload stage of the indexing pipeline, which must not start before the
+// task's extraction finished on its core — can be placed with RunOn.
+func (in *Instance) RunScheduled(d time.Duration) int {
+	core := in.TL.Schedule(d)
+	in.bill()
+	return core
+}
+
 // RunOn adds work to a specific core (used when a task must stay on the
 // lane that issued a service request).
 func (in *Instance) RunOn(core int, d time.Duration) {

@@ -1,0 +1,254 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/cloud/ec2"
+	"repro/internal/index"
+	"repro/internal/xmark"
+)
+
+func bulkTestCorpus() []xmark.Doc {
+	cfg := xmark.DefaultConfig(20)
+	cfg.Seed = 11
+	cfg.TargetDocBytes = 4 << 10
+	return xmark.Generate(cfg)
+}
+
+func indexCorpus(t *testing.T, cfg Config, fleetSize int, docs []xmark.Doc) (*Warehouse, IndexReport) {
+	t.Helper()
+	w, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet := ec2.LaunchFleet(w.ledger, ec2.Large, fleetSize)
+	var uris []string
+	for _, d := range docs {
+		if _, err := w.files.Put(Bucket, DocKey(d.URI), d.Data, nil); err != nil {
+			t.Fatal(err)
+		}
+		uris = append(uris, d.URI)
+	}
+	rep, err := w.IndexCorpusOn(fleet, uris)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w, rep
+}
+
+// TestBulkIndexingMatchesPerDocument: for every strategy, the bulk driver
+// must leave the store byte-identical to the per-document driver, report
+// the same corpus totals, bill strictly fewer BatchPut requests, and model
+// no more upload/total time.
+func TestBulkIndexingMatchesPerDocument(t *testing.T) {
+	docs := bulkTestCorpus()
+	for _, s := range index.All() {
+		t.Run(s.Name(), func(t *testing.T) {
+			perDoc, pr := indexCorpus(t, Config{Strategy: s}, 2, docs)
+			bulk, br := indexCorpus(t, Config{Strategy: s, BulkLoad: true}, 2, docs)
+
+			if br.Docs != pr.Docs || br.DataBytes != pr.DataBytes ||
+				br.Entries != pr.Entries || br.Items != pr.Items {
+				t.Errorf("corpus totals differ: bulk %+v, per-doc %+v", br, pr)
+			}
+			if br.Requests >= pr.Requests {
+				t.Errorf("bulk requests %d not below per-doc %d", br.Requests, pr.Requests)
+			}
+			if br.AvgUpload > pr.AvgUpload {
+				t.Errorf("bulk avg upload %v above per-doc %v", br.AvgUpload, pr.AvgUpload)
+			}
+			if br.Total > pr.Total {
+				t.Errorf("bulk total %v above per-doc %v", br.Total, pr.Total)
+			}
+			pd, bd := dumpStore(t, perDoc), dumpStore(t, bulk)
+			for _, tbl := range s.Tables() {
+				if len(pd[tbl]) != len(bd[tbl]) {
+					t.Errorf("%s: per-doc %d items, bulk %d", tbl, len(pd[tbl]), len(bd[tbl]))
+					continue
+				}
+				for i := range pd[tbl] {
+					if itemLine(pd[tbl][i]) != itemLine(bd[tbl][i]) {
+						t.Errorf("%s item %d differs between per-doc and bulk", tbl, i)
+						break
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestBulkIndexingDeterministicAcrossDepths: the pipeline read-ahead is a
+// real-concurrency knob only — the report (including modeled times), every
+// metered service counter and the store contents must be identical at any
+// depth, over repeated runs.
+func TestBulkIndexingDeterministicAcrossDepths(t *testing.T) {
+	docs := bulkTestCorpus()
+	type outcome struct {
+		rep  IndexReport
+		dump tableDump
+	}
+	var base *outcome
+	var baseW *Warehouse
+	for _, depth := range []int{1, 2, 4, 16} {
+		w, rep := indexCorpus(t, Config{Strategy: index.TwoLUPI, BulkLoad: true, PipelineDepth: depth}, 3, docs)
+		o := &outcome{rep: rep, dump: dumpStore(t, w)}
+		if base == nil {
+			base, baseW = o, w
+			continue
+		}
+		if !reflect.DeepEqual(o.rep, base.rep) {
+			t.Errorf("depth %d report %+v differs from depth 1 %+v", depth, o.rep, base.rep)
+		}
+		bu, wu := baseW.Ledger().Snapshot(), w.Ledger().Snapshot()
+		for _, svc := range []string{"dynamodb", "s3", "sqs"} {
+			for _, op := range []string{"put", "get", "send", "receive", "delete", "changeVisibility"} {
+				if g, want := wu.Get(svc, op), bu.Get(svc, op); g != want {
+					t.Errorf("depth %d %s.%s: %+v, want %+v", depth, svc, op, g, want)
+				}
+			}
+		}
+		for _, tbl := range index.TwoLUPI.Tables() {
+			if len(o.dump[tbl]) != len(base.dump[tbl]) {
+				t.Errorf("depth %d: %s item count differs", depth, tbl)
+				continue
+			}
+			for i := range o.dump[tbl] {
+				if itemLine(o.dump[tbl][i]) != itemLine(base.dump[tbl][i]) {
+					t.Errorf("depth %d: %s item %d differs", depth, tbl, i)
+					break
+				}
+			}
+		}
+	}
+}
+
+// TestBulkIndexingRerunAfterFailure mirrors TestIndexCorpusOnRerunAfterFailure
+// for the bulk driver: a failed document must release every in-flight
+// message — the failing one and the whole read-ahead/buffered group — so a
+// rerun drains the queue immediately.
+func TestBulkIndexingRerunAfterFailure(t *testing.T) {
+	w, err := New(Config{Strategy: index.LUP, BulkLoad: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet := ec2.LaunchFleet(w.ledger, ec2.Large, 1)
+
+	docs := xmark.Paintings()[:6]
+	var uris []string
+	for _, d := range docs[:3] {
+		if _, err := w.files.Put(Bucket, DocKey(d.URI), d.Data, nil); err != nil {
+			t.Fatal(err)
+		}
+		uris = append(uris, d.URI)
+	}
+	uris = append(uris, "broken.xml")
+	if _, err := w.files.Put(Bucket, DocKey("broken.xml"), []byte("<open><mismatch></open>"), nil); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range docs[3:] {
+		if _, err := w.files.Put(Bucket, DocKey(d.URI), d.Data, nil); err != nil {
+			t.Fatal(err)
+		}
+		uris = append(uris, d.URI)
+	}
+
+	rep1, err := w.IndexCorpusOn(fleet, uris)
+	if err == nil {
+		t.Fatal("indexing an unparsable document succeeded")
+	}
+	// Documents whose batches flushed before the failure completed durably
+	// and were deleted; everything else — the failing message and the whole
+	// buffered group — must have been released, not left leased. No message
+	// may be lost or orphaned.
+	released := w.Queues().Len(LoaderQueue)
+	if rep1.Docs+released != len(uris) {
+		t.Fatalf("completed %d + released %d != %d submitted (messages lost or leaked)", rep1.Docs, released, len(uris))
+	}
+	if released == 0 {
+		t.Fatal("no messages released after failure")
+	}
+
+	if _, err := w.files.Put(Bucket, DocKey("broken.xml"), docs[0].Data, nil); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := w.IndexCorpusOn(fleet, nil)
+	if err != nil {
+		t.Fatalf("rerun: %v", err)
+	}
+	if rep.Docs != released {
+		t.Errorf("rerun indexed %d documents, want the %d released", rep.Docs, released)
+	}
+	if n := w.Queues().Len(LoaderQueue); n != 0 {
+		t.Errorf("loader queue still holds %d messages", n)
+	}
+
+	// The converged store matches a clean per-document load of the same
+	// corpus (broken.xml resolving to docs[0]'s data).
+	clean, err := New(Config{Strategy: index.LUP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleanFleet := ec2.LaunchFleet(clean.ledger, ec2.Large, 1)
+	var cleanURIs []string
+	for _, d := range docs[:3] {
+		if _, err := clean.files.Put(Bucket, DocKey(d.URI), d.Data, nil); err != nil {
+			t.Fatal(err)
+		}
+		cleanURIs = append(cleanURIs, d.URI)
+	}
+	if _, err := clean.files.Put(Bucket, DocKey("broken.xml"), docs[0].Data, nil); err != nil {
+		t.Fatal(err)
+	}
+	cleanURIs = append(cleanURIs, "broken.xml")
+	for _, d := range docs[3:] {
+		if _, err := clean.files.Put(Bucket, DocKey(d.URI), d.Data, nil); err != nil {
+			t.Fatal(err)
+		}
+		cleanURIs = append(cleanURIs, d.URI)
+	}
+	if _, err := clean.IndexCorpusOn(cleanFleet, cleanURIs); err != nil {
+		t.Fatal(err)
+	}
+	cd, bd := dumpStore(t, clean), dumpStore(t, w)
+	for _, tbl := range index.LUP.Tables() {
+		if len(cd[tbl]) != len(bd[tbl]) {
+			t.Errorf("%s: clean %d items, bulk-rerun %d", tbl, len(cd[tbl]), len(bd[tbl]))
+			continue
+		}
+		for i := range cd[tbl] {
+			if itemLine(cd[tbl][i]) != itemLine(bd[tbl][i]) {
+				t.Errorf("%s item %d differs after bulk rerun", tbl, i)
+				break
+			}
+		}
+	}
+}
+
+// TestBulkLiveWorkersMatchDriver: live bulk workers (group accumulation,
+// held leases, flush on group size or idle) converge to the same store as
+// the synchronous bulk driver.
+func TestBulkLiveWorkersMatchDriver(t *testing.T) {
+	docs := bulkTestCorpus()
+	driverW, _ := indexCorpus(t, Config{Strategy: index.LUI, BulkLoad: true}, 2, docs)
+
+	liveW, err := New(Config{Strategy: index.LUI, BulkLoad: true, BulkFlushDocs: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	indexLive(t, liveW, docs, false)
+
+	dd, ld := dumpStore(t, driverW), dumpStore(t, liveW)
+	for _, tbl := range index.LUI.Tables() {
+		if len(dd[tbl]) != len(ld[tbl]) {
+			t.Errorf("%s: driver %d items, live %d", tbl, len(dd[tbl]), len(ld[tbl]))
+			continue
+		}
+		for i := range dd[tbl] {
+			if itemLine(dd[tbl][i]) != itemLine(ld[tbl][i]) {
+				t.Errorf("%s item %d differs between driver and live workers", tbl, i)
+				break
+			}
+		}
+	}
+}

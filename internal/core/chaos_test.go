@@ -172,6 +172,21 @@ func runWorkload(t *testing.T, w *Warehouse) map[string][]string {
 // same index store contents, same answers to all ten workload queries, and
 // an empty dead-letter queue.
 func TestChaosDifferentialIndexing(t *testing.T) {
+	chaosDifferentialIndexing(t, false)
+}
+
+// TestChaosDifferentialIndexingBulkLoad runs the same differential with the
+// chaotic workers in bulk-loading mode: coalesced cross-document batches
+// under aggressive chaos plus a crash must still converge to the clean
+// per-document run — held leases expire into redelivery, content-derived
+// range keys absorb the re-extractions, and a failed group flush abandons
+// without deleting. The clean reference stays per-document, so this also
+// differentially proves bulk and per-document store contents identical.
+func TestChaosDifferentialIndexingBulkLoad(t *testing.T) {
+	chaosDifferentialIndexing(t, true)
+}
+
+func chaosDifferentialIndexing(t *testing.T, bulk bool) {
 	seed := chaosSeed(t)
 	docs := chaosCorpus(seed)
 
@@ -183,6 +198,7 @@ func TestChaosDifferentialIndexing(t *testing.T) {
 
 	chaotic, err := New(Config{
 		Strategy: index.TwoLUPI,
+		BulkLoad: bulk,
 		Chaos:    &chaos.Plan{Seed: seed, Rates: aggressiveRates()},
 		// Injected redeliveries must not push healthy documents into the
 		// dead-letter queue: raise the redrive threshold far above what the

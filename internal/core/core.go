@@ -140,6 +140,31 @@ type Config struct {
 	// GetOps), so the paper-reproduction experiments run without it.
 	PostingCacheBytes int64
 
+	// BulkLoad enables the cross-document bulk loader on the indexing
+	// path: index items from many documents are coalesced into full
+	// provider-limit batches (index.BulkLoader), and the indexing drivers
+	// overlap extraction with uploading in a bounded two-stage pipeline.
+	// Store contents are byte-identical to the per-document path (range
+	// keys are content-derived, so coalescing changes request packing
+	// only); billed BatchPut requests drop to the per-table floor of
+	// ceil(items/batch limit), and modeled upload time shrinks with them.
+	// Off by default: the per-document write path of the earlier PRs runs
+	// unchanged.
+	BulkLoad bool
+	// BulkFlushItems overrides the per-table batch size at which the bulk
+	// loader flushes. 0 selects the store's Limits().BatchPutItems, which
+	// is also the upper bound.
+	BulkFlushItems int
+	// BulkFlushDocs bounds how many loader messages a live indexing worker
+	// accumulates (holding their leases) before force-flushing its bulk
+	// loader. 0 selects 8. Only meaningful with BulkLoad.
+	BulkFlushDocs int
+	// PipelineDepth bounds the extraction read-ahead of the bulk indexing
+	// driver's two-stage pipeline. 0 selects 4; 1 removes the overlap.
+	// Results, modeled times and billing are identical at every depth —
+	// only real wall-clock time changes.
+	PipelineDepth int
+
 	// Chaos, when set, interposes the seeded fault-injection layer between
 	// the warehouse and all three cloud services — throttling, transient
 	// errors and partial batches on the index store; duplicate delivery and
@@ -190,6 +215,11 @@ type Warehouse struct {
 	lookupOpts    index.LookupOptions
 	cache         *index.PostingCache
 
+	bulkLoad       bool
+	bulkFlushItems int
+	bulkFlushDocs  int
+	pipelineDepth  int
+
 	ledger *meter.Ledger
 	files  fileService
 	store  kv.Store
@@ -227,18 +257,22 @@ func New(cfg Config) (*Warehouse, error) {
 	baseFiles := s3.New(ledger)
 	baseQueues := sqs.New(ledger)
 	w := &Warehouse{
-		Strategy:      cfg.Strategy,
-		Perf:          cfg.Perf.withDefaults(),
-		compressPaths: cfg.CompressPaths,
-		queryWorkers:  cfg.QueryWorkers,
-		lookupOpts:    index.LookupOptions{Concurrency: cfg.QueryLookupConcurrency},
-		ledger:        ledger,
-		files:         baseFiles,
-		store:         baseStore,
-		queues:        baseQueues,
-		baseFiles:     baseFiles,
-		baseStore:     baseStore,
-		baseQueues:    baseQueues,
+		Strategy:       cfg.Strategy,
+		Perf:           cfg.Perf.withDefaults(),
+		compressPaths:  cfg.CompressPaths,
+		queryWorkers:   cfg.QueryWorkers,
+		lookupOpts:     index.LookupOptions{Concurrency: cfg.QueryLookupConcurrency},
+		bulkLoad:       cfg.BulkLoad,
+		bulkFlushItems: cfg.BulkFlushItems,
+		bulkFlushDocs:  cfg.BulkFlushDocs,
+		pipelineDepth:  cfg.PipelineDepth,
+		ledger:         ledger,
+		files:          baseFiles,
+		store:          baseStore,
+		queues:         baseQueues,
+		baseFiles:      baseFiles,
+		baseStore:      baseStore,
+		baseQueues:     baseQueues,
 	}
 	if cfg.Chaos != nil {
 		// One injector drives all three wrappers, so a single seed fixes
@@ -386,4 +420,3 @@ func (w *Warehouse) docWorkers() int {
 	}
 	return runtime.NumCPU()
 }
-

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/cloud/ec2"
 	"repro/internal/engine"
+	"repro/internal/index"
 )
 
 // This file implements the front end (steps 1-3, 7-8 and 16-18 of
@@ -202,6 +203,9 @@ func (o WorkerOptions) withDefaults() WorkerOptions {
 }
 
 // StartIndexer launches the indexing module on an instance (steps 4-6).
+// With Config.BulkLoad set, the worker accumulates a group of loader
+// messages (holding all their leases) and ships their items through a
+// cross-document bulk loader; see bulkIndexerLoop.
 func (w *Warehouse) StartIndexer(in *ec2.Instance, opts WorkerOptions) *Worker {
 	opts = opts.withDefaults()
 	wk := newWorker(in)
@@ -210,6 +214,10 @@ func (w *Warehouse) StartIndexer(in *ec2.Instance, opts WorkerOptions) *Worker {
 		defer wk.done.Done()
 		w.store.RegisterClient()
 		defer w.store.UnregisterClient()
+		if w.bulkLoad {
+			w.bulkIndexerLoop(wk, in, opts)
+			return
+		}
 		for !wk.stopped() {
 			msg, rtt, err := w.queues.ReceiveWait(LoaderQueue, opts.Visibility, opts.Poll)
 			if err != nil || msg == nil {
@@ -247,6 +255,155 @@ func (w *Warehouse) StartIndexer(in *ec2.Instance, opts WorkerOptions) *Worker {
 		}
 	}()
 	return wk
+}
+
+// heldMessage is one loader message a bulk indexing worker is sitting on:
+// extracted, its items in the group's bulk loader, its lease being renewed
+// until the group flushes.
+type heldMessage struct {
+	receipt   string
+	rtt       time.Duration
+	res       IndexTaskResult
+	stopRenew func()
+	settled   bool // deleted (or given up on) before the group flush
+}
+
+// bulkIndexerLoop is the live indexing worker in bulk mode. It accumulates
+// up to Config.BulkFlushDocs messages per group — extracting each document
+// as it arrives and feeding the extraction to a shared BulkLoader, while a
+// lease renewer per message keeps the whole group invisible — then closes
+// the loader and only deletes a message once its document's items are
+// durably flushed. Fault semantics compose with the §5d failure model
+// exactly like the per-document worker's:
+//
+//   - a document the loader completes early (its batches filled) is deleted
+//     as soon as Add reports it, shrinking the at-risk window;
+//   - an extraction failure skips the document (no delete): its lease
+//     expires and the message is redelivered, eventually dead-lettered;
+//   - a flush failure abandons the whole group without deleting: every
+//     message is redelivered, and the content-derived range keys make the
+//     re-extracted writes overwrite whatever part of the batch landed;
+//   - a crash stops the renewers mid-group, with the same redelivery path.
+//
+// An idle receive (nil message) force-flushes a partial group, so held
+// messages never outlive the queue's quiet period; a graceful Stop flushes
+// the final group on the way out.
+func (w *Warehouse) bulkIndexerLoop(wk *Worker, in *ec2.Instance, opts WorkerOptions) {
+	var (
+		loader *index.BulkLoader
+		group  []*heldMessage
+	)
+	reset := func() {
+		loader = index.NewBulkLoader(w.store, index.BulkOptions{FlushItems: w.bulkFlushItems}, w.cache)
+		group = nil
+	}
+	reset()
+	// settle deletes the messages of completed documents, charging the
+	// instance for their queue round trips and their share of the modeled
+	// work. DocLoads arrive in Add order, which is the group's order.
+	next := 0
+	settle := func(done []index.DocLoad) {
+		for _, dl := range done {
+			if next >= len(group) {
+				return // defensive; cannot happen with FIFO release
+			}
+			h := group[next]
+			next++
+			h.stopRenew()
+			h.settled = true
+			if _, err := w.queues.Delete(LoaderQueue, h.receipt); err != nil {
+				// Lease lost: another worker owns the message; our writes
+				// are idempotent, so its redelivery converges.
+				continue
+			}
+			in.Run(h.rtt + h.res.ExtractTime + dl.Upload)
+			wk.mu.Lock()
+			wk.processed++
+			wk.mu.Unlock()
+		}
+	}
+	abandon := func() {
+		for _, h := range group {
+			if !h.settled {
+				h.stopRenew()
+				wk.mu.Lock()
+				wk.failures++
+				wk.mu.Unlock()
+			}
+		}
+		reset()
+		next = 0
+	}
+	flushGroup := func() {
+		if len(group) == 0 {
+			return
+		}
+		done, err := loader.Close()
+		settle(done)
+		if err != nil {
+			abandon() // unsettled messages redeliver; writes are idempotent
+			return
+		}
+		reset()
+		next = 0
+	}
+	defer func() {
+		// On a crash the renewers have already quit (they watch wk.crashed)
+		// and the leases lapse; on a graceful stop the group below was
+		// flushed and this is a no-op.
+		for _, h := range group {
+			if !h.settled {
+				h.stopRenew()
+			}
+		}
+	}()
+	for !wk.stopped() {
+		msg, rtt, err := w.queues.ReceiveWait(LoaderQueue, opts.Visibility, opts.Poll)
+		if err != nil {
+			continue
+		}
+		if msg == nil {
+			flushGroup() // idle: do not sit on held leases
+			continue
+		}
+		wk.noteReceive(msg.ReceiveCount)
+		stopRenew := w.renewLease(wk, LoaderQueue, msg.Receipt, opts.Visibility)
+		if opts.WorkDelay > 0 {
+			time.Sleep(opts.WorkDelay)
+		}
+		if wk.crashedNow() {
+			stopRenew()
+			return
+		}
+		res, ex, err := w.extractDocument(in, msg.Body)
+		if wk.crashedNow() {
+			stopRenew()
+			return
+		}
+		if err != nil {
+			stopRenew()
+			wk.mu.Lock()
+			wk.failures++
+			wk.mu.Unlock()
+			continue // lease will expire; the message is retried
+		}
+		group = append(group, &heldMessage{receipt: msg.Receipt, rtt: rtt, res: res, stopRenew: stopRenew})
+		done, err := loader.Add(ex)
+		settle(done)
+		if wk.crashedNow() {
+			return
+		}
+		if err != nil {
+			abandon()
+			continue
+		}
+		if len(group) >= w.bulkDocsLimit() {
+			flushGroup()
+		}
+	}
+	if !wk.crashedNow() {
+		flushGroup() // graceful stop: ship what we hold
+	}
 }
 
 // StartQueryProcessor launches the query-processor module on an instance

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/cloud/ec2"
+	"repro/internal/cloud/sqs"
 	"repro/internal/index"
 	"repro/internal/xmltree"
 )
@@ -24,6 +25,28 @@ type IndexTaskResult struct {
 	Stats       index.LoadStats
 }
 
+// extractDocument performs the EC2-side half of one loader message: fetch
+// the document, parse it, and build its index entries. The returned
+// extraction has not been written; ExtractTime covers the fetch latency and
+// the modeled parse/extract compute.
+func (w *Warehouse) extractDocument(in *ec2.Instance, uri string) (IndexTaskResult, *index.Extraction, error) {
+	res := IndexTaskResult{URI: uri}
+	obj, fetch, err := w.files.Get(Bucket, DocKey(uri))
+	if err != nil {
+		return res, nil, fmt.Errorf("core: fetching %s: %w", uri, err)
+	}
+	res.DocBytes = int64(len(obj.Data))
+	doc, err := xmltree.Parse(uri, obj.Data)
+	if err != nil {
+		return res, nil, err
+	}
+	ex := index.Extract(w.Strategy, doc, w.indexOptions())
+	res.ExtractTime = fetch +
+		in.ComputeDuration(res.DocBytes, w.Perf.ParseBytesPerECUSec) +
+		in.ComputeDuration(ex.Bytes, w.Perf.ExtractBytesPerECUSec)
+	return res, ex, nil
+}
+
 // indexDocument performs the work of one loader message on one instance
 // core. New items carry range keys derived deterministically from their
 // content identity (index.ItemRangeKey), so running the same message twice
@@ -32,20 +55,10 @@ type IndexTaskResult struct {
 // delivery yields exactly-once index contents. The returned durations are
 // modeled; the caller schedules them.
 func (w *Warehouse) indexDocument(in *ec2.Instance, uri string) (IndexTaskResult, error) {
-	res := IndexTaskResult{URI: uri}
-	obj, fetch, err := w.files.Get(Bucket, DocKey(uri))
-	if err != nil {
-		return res, fmt.Errorf("core: fetching %s: %w", uri, err)
-	}
-	res.DocBytes = int64(len(obj.Data))
-	doc, err := xmltree.Parse(uri, obj.Data)
+	res, ex, err := w.extractDocument(in, uri)
 	if err != nil {
 		return res, err
 	}
-	ex := index.Extract(w.Strategy, doc, w.indexOptions())
-	res.ExtractTime = fetch +
-		in.ComputeDuration(res.DocBytes, w.Perf.ParseBytesPerECUSec) +
-		in.ComputeDuration(ex.Bytes, w.Perf.ExtractBytesPerECUSec)
 	upload, stats, err := index.WriteExtraction(w.store, ex, w.cache)
 	if err != nil {
 		return res, err
@@ -78,6 +91,14 @@ type IndexReport struct {
 // scheduled on each instance's least-loaded core. The store's capacity is
 // shared by all fleet worker threads for the duration of the run (the
 // DynamoDB saturation of Section 8.2).
+//
+// With Config.BulkLoad set, the driver runs the two-stage bulk pipeline
+// instead: extractions are read ahead (bounded by Config.PipelineDepth) and
+// fed to a cross-document index.BulkLoader, and each document's pro-rata
+// upload share is modeled on an asynchronous upload stream per core — so
+// extraction compute overlaps store I/O, Table 4's extract/upload split
+// stays per-document, and the billed request count drops to the bulk
+// loader's packing floor. Store contents are byte-identical either way.
 func (w *Warehouse) IndexCorpusOn(fleet []*ec2.Instance, uris []string) (IndexReport, error) {
 	var report IndexReport
 	if len(fleet) == 0 {
@@ -106,37 +127,14 @@ func (w *Warehouse) IndexCorpusOn(fleet []*ec2.Instance, uris []string) (IndexRe
 
 	perExtract := make(map[*ec2.Instance]time.Duration)
 	perUpload := make(map[*ec2.Instance]time.Duration)
-	for i := 0; ; i++ {
-		msg, rtt, err := w.queues.Receive(LoaderQueue, 5*time.Minute)
-		if err != nil {
-			return report, err
-		}
-		if msg == nil {
-			break
-		}
-		in := fleet[i%len(fleet)]
-		res, err := w.indexDocument(in, msg.Body)
-		if err != nil {
-			// Release the lease before bailing out: the message becomes
-			// visible again immediately, so a rerun of the driver (or a
-			// live worker) can pick it up instead of waiting out the
-			// 5-minute lease on a message nobody is processing.
-			w.nackLoaderMessage(msg.Receipt)
-			return report, fmt.Errorf("core: indexing %s: %w", msg.Body, err)
-		}
-		drtt, err := w.deleteLoaderMessage(msg.Receipt)
-		if err != nil {
-			w.nackLoaderMessage(msg.Receipt)
-			return report, err
-		}
-		in.Run(rtt + res.ExtractTime + res.UploadTime + drtt)
-		report.Docs++
-		report.DataBytes += res.DocBytes
-		report.Entries += res.Stats.Entries
-		report.Items += res.Stats.Items
-		report.Requests += res.Stats.Requests
-		perExtract[in] += res.ExtractTime
-		perUpload[in] += res.UploadTime
+	var err error
+	if w.bulkLoad {
+		err = w.bulkIndexLoop(fleet, &report, perExtract, perUpload)
+	} else {
+		err = w.perDocIndexLoop(fleet, &report, perExtract, perUpload)
+	}
+	if err != nil {
+		return report, err
 	}
 	ec2.FleetLevel(fleet)
 	report.Total = ec2.FleetElapsed(fleet) - start
@@ -150,6 +148,227 @@ func (w *Warehouse) IndexCorpusOn(fleet []*ec2.Instance, uris []string) (IndexRe
 	report.AvgExtract /= time.Duration(len(fleet))
 	report.AvgUpload /= time.Duration(len(fleet))
 	return report, nil
+}
+
+// perDocIndexLoop is the classic driver loop: each document is extracted
+// and written in its own per-document, per-table batches, serially on its
+// assigned instance core.
+func (w *Warehouse) perDocIndexLoop(fleet []*ec2.Instance, report *IndexReport, perExtract, perUpload map[*ec2.Instance]time.Duration) error {
+	for i := 0; ; i++ {
+		msg, rtt, err := w.queues.Receive(LoaderQueue, 5*time.Minute)
+		if err != nil {
+			return err
+		}
+		if msg == nil {
+			return nil
+		}
+		in := fleet[i%len(fleet)]
+		res, err := w.indexDocument(in, msg.Body)
+		if err != nil {
+			// Release the lease before bailing out: the message becomes
+			// visible again immediately, so a rerun of the driver (or a
+			// live worker) can pick it up instead of waiting out the
+			// 5-minute lease on a message nobody is processing.
+			w.nackLoaderMessage(msg.Receipt)
+			return fmt.Errorf("core: indexing %s: %w", msg.Body, err)
+		}
+		drtt, err := w.deleteLoaderMessage(msg.Receipt)
+		if err != nil {
+			w.nackLoaderMessage(msg.Receipt)
+			return err
+		}
+		in.Run(rtt + res.ExtractTime + res.UploadTime + drtt)
+		report.Docs++
+		report.DataBytes += res.DocBytes
+		report.Entries += res.Stats.Entries
+		report.Items += res.Stats.Items
+		report.Requests += res.Stats.Requests
+		perExtract[in] += res.ExtractTime
+		perUpload[in] += res.UploadTime
+	}
+}
+
+// bulkDocsLimit is the effective live-worker group size.
+func (w *Warehouse) bulkDocsLimit() int {
+	if w.bulkFlushDocs > 0 {
+		return w.bulkFlushDocs
+	}
+	return 8
+}
+
+// pipeDepth is the effective extraction read-ahead of the bulk driver.
+func (w *Warehouse) pipeDepth() int {
+	if w.pipelineDepth > 0 {
+		return w.pipelineDepth
+	}
+	return 4
+}
+
+// indexTask is one loader message moving through the bulk pipeline.
+type indexTask struct {
+	msg *sqs.Message
+	rtt time.Duration
+	in  *ec2.Instance
+	res IndexTaskResult
+	ex  *index.Extraction
+	err error
+}
+
+// inflightDoc is a task whose extraction has been scheduled and whose items
+// sit (at least partly) in the bulk loader.
+type inflightDoc struct {
+	t    *indexTask
+	core int
+	// ready is the task's core occupancy right after its extraction was
+	// scheduled: the earliest modeled instant its upload may start.
+	ready time.Duration
+}
+
+// bulkIndexLoop is the two-stage bulk driver. Stage one (optionally read
+// ahead on a goroutine, bounded by pipeDepth) receives loader messages and
+// runs the EC2-side extraction; stage two — always the calling goroutine,
+// in strict FIFO order — feeds extractions to a cross-document BulkLoader,
+// deletes messages as their documents complete, and accounts the modeled
+// time.
+//
+// Modeled overlap: each document's extraction is scheduled on its
+// instance's least-loaded core, and its pro-rata upload share is appended
+// to a per-core *upload stream* that starts no earlier than the document's
+// extraction end — the asynchronous uploader of a two-stage worker. After
+// the last document, each core is raised to its upload stream's end, so a
+// core's elapsed time is max(extraction stream, upload stream): upload I/O
+// hides behind extraction compute instead of serializing with it.
+//
+// Every modeled quantity is computed from payload sizes and FIFO positions,
+// never from real goroutine timing, so results, modeled times and billing
+// are identical at any pipeline depth. When a chaos layer is configured the
+// read-ahead goroutine is skipped (depth one, inline) so that the injector's
+// seeded fault schedule is also consumed in a deterministic order.
+func (w *Warehouse) bulkIndexLoop(fleet []*ec2.Instance, report *IndexReport, perExtract, perUpload map[*ec2.Instance]time.Duration) error {
+	produce := func(i int) *indexTask {
+		msg, rtt, err := w.queues.Receive(LoaderQueue, 5*time.Minute)
+		if err != nil {
+			return &indexTask{err: err}
+		}
+		if msg == nil {
+			return nil
+		}
+		t := &indexTask{msg: msg, rtt: rtt, in: fleet[i%len(fleet)]}
+		t.res, t.ex, t.err = w.extractDocument(t.in, msg.Body)
+		return t
+	}
+	var next func() *indexTask
+	if depth := w.pipeDepth(); depth > 1 && w.chaosInj == nil {
+		ch := make(chan *indexTask, depth-1)
+		go func() {
+			defer close(ch)
+			for i := 0; ; i++ {
+				t := produce(i)
+				if t == nil {
+					return
+				}
+				ch <- t
+				if t.err != nil {
+					return
+				}
+			}
+		}()
+		next = func() *indexTask { return <-ch }
+	} else {
+		i := 0
+		next = func() *indexTask { t := produce(i); i++; return t }
+	}
+
+	loader := index.NewBulkLoader(w.store, index.BulkOptions{FlushItems: w.bulkFlushItems}, w.cache)
+	var queue []*inflightDoc
+	uploadEnd := make(map[*ec2.Instance][]time.Duration)
+	nackAll := func() {
+		for _, fl := range queue {
+			w.nackLoaderMessage(fl.t.msg.Receipt)
+		}
+	}
+	// complete settles documents the loader released, in FIFO order:
+	// delete the loader message, extend the core's upload stream by the
+	// document's pro-rata share, and fold its stats into the report.
+	complete := func(done []index.DocLoad) error {
+		for _, dl := range done {
+			if len(queue) == 0 || queue[0].t.msg.Body != dl.URI {
+				return fmt.Errorf("core: bulk loader released %q out of FIFO order", dl.URI)
+			}
+			fl := queue[0]
+			queue = queue[1:]
+			drtt, err := w.deleteLoaderMessage(fl.t.msg.Receipt)
+			if err != nil {
+				w.nackLoaderMessage(fl.t.msg.Receipt)
+				return err
+			}
+			in := fl.t.in
+			in.RunOn(fl.core, drtt)
+			lanes := uploadEnd[in]
+			if lanes == nil {
+				lanes = make([]time.Duration, in.Type.Cores)
+				uploadEnd[in] = lanes
+			}
+			end := lanes[fl.core]
+			if fl.ready > end {
+				end = fl.ready
+			}
+			lanes[fl.core] = end + dl.Upload
+			perUpload[in] += dl.Upload
+			report.Docs++
+			report.DataBytes += fl.t.res.DocBytes
+			report.Entries += dl.Stats.Entries
+			report.Items += dl.Stats.Items
+			report.Requests += dl.Stats.Requests
+		}
+		return nil
+	}
+
+	for {
+		t := next()
+		if t == nil {
+			break
+		}
+		if t.err != nil {
+			if t.msg != nil {
+				w.nackLoaderMessage(t.msg.Receipt)
+			}
+			nackAll()
+			if t.msg != nil {
+				return fmt.Errorf("core: indexing %s: %w", t.msg.Body, t.err)
+			}
+			return t.err
+		}
+		core := t.in.RunScheduled(t.rtt + t.res.ExtractTime)
+		perExtract[t.in] += t.res.ExtractTime
+		queue = append(queue, &inflightDoc{t: t, core: core, ready: t.in.TL.Lane(core)})
+		done, err := loader.Add(t.ex)
+		if cerr := complete(done); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			nackAll()
+			return fmt.Errorf("core: bulk indexing %s: %w", t.msg.Body, err)
+		}
+	}
+	done, err := loader.Close()
+	if cerr := complete(done); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		nackAll()
+		return fmt.Errorf("core: bulk indexing: %w", err)
+	}
+	// Drain the upload streams: raise each core to its upload end, so its
+	// elapsed time is the maximum of its extraction and upload streams.
+	for _, in := range fleet {
+		for c, end := range uploadEnd[in] {
+			if occ := in.TL.Lane(c); end > occ {
+				in.RunOn(c, end-occ)
+			}
+		}
+	}
+	return nil
 }
 
 func (w *Warehouse) deleteLoaderMessage(receipt string) (time.Duration, error) {

@@ -1,0 +1,346 @@
+package index
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/cloud/dynamodb"
+	"repro/internal/cloud/kv"
+	"repro/internal/meter"
+	"repro/internal/xmark"
+)
+
+// extractCorpus parses and extracts a slice of generated documents.
+func extractCorpus(t *testing.T, s Strategy, store kv.Store, docs []xmark.Doc) []*Extraction {
+	t.Helper()
+	opts := OptionsFor(store)
+	exs := make([]*Extraction, len(docs))
+	for i, gd := range docs {
+		d := parseDoc(t, gd.URI, string(gd.Data))
+		exs[i] = Extract(s, d, opts)
+	}
+	return exs
+}
+
+func testCorpus() []xmark.Doc {
+	return xmark.Generate(xmark.Config{Docs: 24, TargetDocBytes: 2 << 10, Seed: 7})
+}
+
+// recordingStore sums the modeled durations of the BatchPuts that pass
+// through it, so tests can check pro-rata attribution against the truth.
+type recordingStore struct {
+	kv.Store
+	putTime  time.Duration
+	putCalls int
+}
+
+func (r *recordingStore) BatchPut(table string, items []kv.Item) (time.Duration, error) {
+	d, err := r.Store.BatchPut(table, items)
+	if err == nil {
+		r.putTime += d
+		r.putCalls++
+	}
+	return d, err
+}
+
+// TestBulkLoaderMatchesWriteExtraction is the core equivalence property:
+// for every strategy, bulk loading a corpus leaves the store byte-identical
+// to per-document WriteExtraction, with identical aggregate entries, items
+// and bytes, and with per-document attribution that sums exactly to the
+// totals (requests to the call count, upload shares to the modeled time).
+func TestBulkLoaderMatchesWriteExtraction(t *testing.T) {
+	docs := testCorpus()
+	for _, s := range All() {
+		t.Run(s.Name(), func(t *testing.T) {
+			perDoc := newStore(t, s)
+			exs := extractCorpus(t, s, perDoc, docs)
+			var want LoadStats
+			for _, ex := range exs {
+				_, st, err := WriteExtraction(perDoc, ex)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want.Entries += st.Entries
+				want.Items += st.Items
+				want.Requests += st.Requests
+				want.Bytes += st.Bytes
+			}
+
+			bulkBase := newStore(t, s)
+			bulk := &recordingStore{Store: bulkBase}
+			loader := NewBulkLoader(bulk, BulkOptions{})
+			var done []DocLoad
+			for _, ex := range exs {
+				dls, err := loader.Add(ex)
+				if err != nil {
+					t.Fatal(err)
+				}
+				done = append(done, dls...)
+			}
+			dls, err := loader.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			done = append(done, dls...)
+
+			if len(done) != len(exs) {
+				t.Fatalf("released %d docs, want %d", len(done), len(exs))
+			}
+			var got LoadStats
+			var upload time.Duration
+			for i, dl := range done {
+				if dl.URI != exs[i].URI {
+					t.Fatalf("doc %d released as %q, want %q (FIFO order)", i, dl.URI, exs[i].URI)
+				}
+				got.Entries += dl.Stats.Entries
+				got.Items += dl.Stats.Items
+				got.Requests += dl.Stats.Requests
+				got.Bytes += dl.Stats.Bytes
+				upload += dl.Upload
+			}
+			if got.Entries != want.Entries || got.Items != want.Items || got.Bytes != want.Bytes {
+				t.Errorf("bulk stats %+v, per-doc %+v", got, want)
+			}
+			if got != loader.Total() {
+				t.Errorf("summed doc stats %+v != loader total %+v", got, loader.Total())
+			}
+			if got.Requests != bulk.putCalls {
+				t.Errorf("attributed requests %d, issued %d", got.Requests, bulk.putCalls)
+			}
+			if got.Requests >= want.Requests {
+				t.Errorf("bulk requests %d not below per-doc %d", got.Requests, want.Requests)
+			}
+			if upload != bulk.putTime {
+				t.Errorf("summed upload shares %v != modeled put time %v", upload, bulk.putTime)
+			}
+
+			for _, tbl := range s.Tables() {
+				a := perDoc.(*kv.MemStore).DumpTable(tbl)
+				b := bulkBase.(*kv.MemStore).DumpTable(tbl)
+				if !reflect.DeepEqual(a, b) {
+					t.Errorf("table %s differs between per-doc and bulk load", tbl)
+				}
+			}
+		})
+	}
+}
+
+// TestBulkLoaderRequestFloor checks that bulk loading packs every batch
+// full: the request count hits the per-table floor of ceil(items/limit).
+func TestBulkLoaderRequestFloor(t *testing.T) {
+	docs := testCorpus()
+	for _, s := range All() {
+		store := newStore(t, s)
+		exs := extractCorpus(t, s, store, docs)
+		loader := NewBulkLoader(store, BulkOptions{})
+		perTable := make(map[string]int)
+		for _, ex := range exs {
+			if _, err := loader.Add(ex); err != nil {
+				t.Fatal(err)
+			}
+			budget := itemBudgetFor(store.Limits())
+			for _, tbl := range sortedTables(ex) {
+				for _, e := range ex.Tables[tbl] {
+					perTable[tbl] += len(entryItems(ex.URI, tbl, e, budget))
+				}
+			}
+		}
+		if _, err := loader.Close(); err != nil {
+			t.Fatal(err)
+		}
+		limit := store.Limits().BatchPutItems
+		floor := 0
+		for _, n := range perTable {
+			floor += (n + limit - 1) / limit
+		}
+		if got := loader.Total().Requests; got != floor {
+			t.Errorf("%s: requests %d, want packing floor %d", s.Name(), got, floor)
+		}
+	}
+}
+
+// TestBulkLoaderSmallFlushAndPending exercises a sub-limit flush threshold
+// and the Pending/release bookkeeping.
+func TestBulkLoaderSmallFlushAndPending(t *testing.T) {
+	docs := testCorpus()[:6]
+	store := newStore(t, LU)
+	exs := extractCorpus(t, LU, store, docs)
+	loader := NewBulkLoader(store, BulkOptions{FlushItems: 3})
+	released := 0
+	for _, ex := range exs {
+		dls, err := loader.Add(ex)
+		if err != nil {
+			t.Fatal(err)
+		}
+		released += len(dls)
+		if released+loader.Pending() != 0 && released+loader.Pending() > len(exs) {
+			t.Fatalf("released %d + pending %d exceeds added docs", released, loader.Pending())
+		}
+	}
+	dls, err := loader.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	released += len(dls)
+	if released != len(exs) || loader.Pending() != 0 {
+		t.Fatalf("released %d (pending %d), want all %d", released, loader.Pending(), len(exs))
+	}
+	if _, err := loader.Add(exs[0]); !errors.Is(err, ErrLoaderClosed) {
+		t.Errorf("Add after Close = %v, want ErrLoaderClosed", err)
+	}
+}
+
+// failingStore fails every BatchPut after the first n.
+type failingStore struct {
+	kv.Store
+	allow int
+}
+
+func (f *failingStore) BatchPut(table string, items []kv.Item) (time.Duration, error) {
+	if f.allow <= 0 {
+		return 0, fmt.Errorf("injected put failure")
+	}
+	f.allow--
+	return f.Store.BatchPut(table, items)
+}
+
+// TestBulkLoaderInvalidatesCacheOnFailedFlush: even when a flush fails
+// mid-way, every key of the attempted batch must be invalidated in the
+// posting caches — a partially landed batch with a stale cached posting is
+// the §5d failure mode cache invalidation exists to prevent.
+func TestBulkLoaderInvalidatesCacheOnFailedFlush(t *testing.T) {
+	docs := testCorpus()[:4]
+	base := newStore(t, LU)
+	exs := extractCorpus(t, LU, base, docs)
+	store := &failingStore{Store: base, allow: 0}
+	cache := NewPostingCache(1 << 20)
+	table := LU.Tables()[0]
+
+	// Warm the cache with every key the corpus touches.
+	keys := make(map[string]bool)
+	for _, ex := range exs {
+		for _, e := range ex.Tables[table] {
+			keys[e.Key] = true
+		}
+	}
+	for k := range keys {
+		cache.put(cacheKey{table: table, key: k, kind: URIPosting}, map[string]*Posting{"x": {URI: "x"}})
+	}
+
+	loader := NewBulkLoader(store, BulkOptions{}, cache)
+	var flushErr error
+	for _, ex := range exs {
+		if _, err := loader.Add(ex); err != nil {
+			flushErr = err
+			break
+		}
+	}
+	if flushErr == nil {
+		if _, err := loader.Flush(); err != nil {
+			flushErr = err
+		}
+	}
+	if flushErr == nil {
+		t.Fatal("expected an injected flush failure")
+	}
+	// Every key of the first (failed) batch must be gone from the cache.
+	// The failed batch is a prefix of the corpus' items in Add order.
+	limit := base.Limits().BatchPutItems
+	budget := itemBudgetFor(base.Limits())
+	checked := 0
+	for _, ex := range exs {
+		for _, e := range ex.Tables[table] {
+			for range entryItems(ex.URI, table, e, budget) {
+				if checked < limit {
+					if _, ok := cache.get(cacheKey{table: table, key: e.Key, kind: URIPosting}); ok {
+						t.Fatalf("key %q still cached after failed flush", e.Key)
+					}
+				}
+				checked++
+			}
+		}
+	}
+	if checked < limit {
+		t.Fatalf("corpus too small to fill a batch (%d items)", checked)
+	}
+}
+
+// TestBulkLoaderRetryIdempotent re-adds the same documents after a failed
+// flush (the redelivery path) and checks the store converges to the clean
+// result — the composition with PR 2's exactly-once guarantees.
+func TestBulkLoaderRetryIdempotent(t *testing.T) {
+	docs := testCorpus()[:8]
+	clean := newStore(t, LUI)
+	exs := extractCorpus(t, LUI, clean, docs)
+	for _, ex := range exs {
+		if _, _, err := WriteExtraction(clean, ex); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	base := newStore(t, LUI)
+	flaky := &failingStore{Store: base, allow: 2} // fail after two batches land
+	loader := NewBulkLoader(flaky, BulkOptions{})
+	failed := false
+	for _, ex := range exs {
+		if _, err := loader.Add(ex); err != nil {
+			failed = true
+			break
+		}
+	}
+	if !failed {
+		if _, err := loader.Close(); err != nil {
+			failed = true
+		}
+	}
+	if !failed {
+		t.Fatal("expected the flaky store to fail a flush")
+	}
+	// "Redeliver" the whole corpus to a fresh loader on the now-healthy
+	// store: idempotent range keys make the rewrite converge.
+	flaky.allow = 1 << 30
+	retry := NewBulkLoader(flaky, BulkOptions{})
+	for _, ex := range exs {
+		if _, err := retry.Add(ex); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := retry.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for _, tbl := range LUI.Tables() {
+		a := clean.(*kv.MemStore).DumpTable(tbl)
+		b := base.(*kv.MemStore).DumpTable(tbl)
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("table %s did not converge after retry", tbl)
+		}
+	}
+}
+
+// TestBulkLoaderMeteredRequests confirms the ledger sees exactly the bulk
+// request count (the quantity the cost model bills).
+func TestBulkLoaderMeteredRequests(t *testing.T) {
+	docs := testCorpus()
+	ledger := meter.NewLedger()
+	store := dynamodb.New(ledger)
+	if err := CreateTables(store, LU); err != nil {
+		t.Fatal(err)
+	}
+	exs := extractCorpus(t, LU, store, docs)
+	loader := NewBulkLoader(store, BulkOptions{})
+	for _, ex := range exs {
+		if _, err := loader.Add(ex); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := loader.Close(); err != nil {
+		t.Fatal(err)
+	}
+	billed := ledger.Snapshot().Get(dynamodb.Backend, "put").Calls
+	if billed != int64(loader.Total().Requests) {
+		t.Errorf("ledger billed %d put calls, loader reports %d", billed, loader.Total().Requests)
+	}
+}

@@ -1,0 +1,89 @@
+package index
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/xmltree"
+)
+
+// decodeAllBlobs decodes each blob independently and concatenates.
+func decodeAllBlobs(t *testing.T, blobs [][]byte) []xmltree.NodeID {
+	t.Helper()
+	var ids []xmltree.NodeID
+	for i, b := range blobs {
+		got, err := DecodeIDsBinary(b)
+		if err != nil {
+			t.Fatalf("blob %d: %v", i, err)
+		}
+		ids = append(ids, got...)
+	}
+	return ids
+}
+
+// TestEncodeIDsBinaryOversizedTriple: a single triple whose varint encoding
+// exceeds maxBlob must still be emitted as one (oversized but decodable)
+// blob — not dropped, and not spun on forever trying to fit it.
+func TestEncodeIDsBinaryOversizedTriple(t *testing.T) {
+	// Pre 1<<28 takes 5 uvarint bytes (its delta from 0 likewise), Post
+	// and Depth one byte each: 7 bytes total against a 2-byte budget.
+	big := xmltree.NodeID{Pre: 1 << 28, Post: 1, Depth: 1}
+	blobs := EncodeIDsBinary([]xmltree.NodeID{big}, 2)
+	if len(blobs) != 1 {
+		t.Fatalf("blobs = %d, want 1", len(blobs))
+	}
+	if len(blobs[0]) <= 2 {
+		t.Fatalf("blob len = %d, expected the oversized encoding", len(blobs[0]))
+	}
+	if got := decodeAllBlobs(t, blobs); !reflect.DeepEqual(got, []xmltree.NodeID{big}) {
+		t.Fatalf("round trip = %v, want %v", got, []xmltree.NodeID{big})
+	}
+
+	// Several oversized triples in a row: one blob each, all decodable.
+	ids := []xmltree.NodeID{
+		{Pre: 1 << 28, Post: 1, Depth: 1},
+		{Pre: 1<<28 + (1 << 27), Post: 2, Depth: 2},
+		{Pre: 1 << 30, Post: 3, Depth: 3},
+	}
+	blobs = EncodeIDsBinary(ids, 2)
+	if len(blobs) != len(ids) {
+		t.Fatalf("blobs = %d, want one per oversized triple (%d)", len(blobs), len(ids))
+	}
+	if got := decodeAllBlobs(t, blobs); !reflect.DeepEqual(got, ids) {
+		t.Fatalf("round trip = %v, want %v", got, ids)
+	}
+}
+
+// TestEncodeIDsBinaryDeltaBaseRestart: when a set splits across blobs, the
+// first triple of each follow-on blob must be encoded against a fresh delta
+// base (absolute pre), so every blob decodes independently — the property
+// the store relies on when an entry's values split across items.
+func TestEncodeIDsBinaryDeltaBaseRestart(t *testing.T) {
+	// Large pre values (5-byte deltas) force a split with a small budget.
+	ids := make([]xmltree.NodeID, 6)
+	for i := range ids {
+		ids[i] = xmltree.NodeID{Pre: 1<<28 + int32(i)*(1<<20), Post: int32(i), Depth: int32(i % 4)}
+	}
+	blobs := EncodeIDsBinary(ids, 16) // 2 triples (~12-14 bytes) per blob
+	if len(blobs) < 2 {
+		t.Fatalf("blobs = %d, want a multi-blob split", len(blobs))
+	}
+	// Each blob decodes on its own, and its first pre is absolute.
+	seen := 0
+	for i, b := range blobs {
+		got, err := DecodeIDsBinary(b)
+		if err != nil {
+			t.Fatalf("blob %d: %v", i, err)
+		}
+		if len(got) == 0 {
+			t.Fatalf("blob %d is empty", i)
+		}
+		if got[0] != ids[seen] {
+			t.Fatalf("blob %d first id = %v, want absolute %v (delta base must restart)", i, got[0], ids[seen])
+		}
+		seen += len(got)
+	}
+	if got := decodeAllBlobs(t, blobs); !reflect.DeepEqual(got, ids) {
+		t.Fatalf("round trip = %v, want %v", got, ids)
+	}
+}

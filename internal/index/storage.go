@@ -172,10 +172,7 @@ func WriteExtraction(store kv.Store, ex *Extraction, caches ...*PostingCache) (t
 	if batchLimit <= 0 {
 		batchLimit = 1
 	}
-	itemBudget := int64(48 << 10)
-	if lim.MaxItemBytes > 0 && lim.MaxItemBytes-512 < itemBudget {
-		itemBudget = lim.MaxItemBytes - 512
-	}
+	itemBudget := itemBudgetFor(lim)
 
 	var batch []kv.Item
 	flush := func(table string) error {
@@ -199,12 +196,7 @@ func WriteExtraction(store kv.Store, ex *Extraction, caches ...*PostingCache) (t
 	for _, table := range sortedTables(ex) {
 		for _, e := range ex.Tables[table] {
 			stats.Entries++
-			for ordinal, values := range splitValues(e.Values, itemBudget, int64(len(e.Key)+len(ex.URI))) {
-				item := kv.Item{
-					HashKey:  e.Key,
-					RangeKey: ItemRangeKey(ex.URI, table, e.Key, ordinal),
-					Attrs:    []kv.Attr{{Name: ex.URI, Values: values}},
-				}
+			for _, item := range entryItems(ex.URI, table, e, itemBudget) {
 				batch = append(batch, item)
 				if len(batch) == batchLimit {
 					if err := flush(table); err != nil {
@@ -218,6 +210,36 @@ func WriteExtraction(store kv.Store, ex *Extraction, caches ...*PostingCache) (t
 		}
 	}
 	return total, stats, nil
+}
+
+// itemBudgetFor returns the per-item payload budget under which entry
+// values are split into items, leaving headroom for keys and the attribute
+// name. WriteExtraction and the BulkLoader share it so that both write
+// paths generate byte-identical items under identical range keys.
+func itemBudgetFor(lim kv.Limits) int64 {
+	budget := int64(48 << 10)
+	if lim.MaxItemBytes > 0 && lim.MaxItemBytes-512 < budget {
+		budget = lim.MaxItemBytes - 512
+	}
+	return budget
+}
+
+// entryItems builds the store items of one extraction entry: values are
+// packed under the item budget, and each chunk's range key is derived from
+// (document, table, key, ordinal). The same entry always yields the same
+// items, which is what makes every write path — per-document, bulk-loaded,
+// or a retry of either — idempotent and mutually byte-identical.
+func entryItems(uri, table string, e Entry, itemBudget int64) []kv.Item {
+	groups := splitValues(e.Values, itemBudget, int64(len(e.Key)+len(uri)))
+	items := make([]kv.Item, len(groups))
+	for ordinal, values := range groups {
+		items[ordinal] = kv.Item{
+			HashKey:  e.Key,
+			RangeKey: ItemRangeKey(uri, table, e.Key, ordinal),
+			Attrs:    []kv.Attr{{Name: uri, Values: values}},
+		}
+	}
+	return items
 }
 
 func sortedTables(ex *Extraction) []string {
