@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench benchsmoke check
+.PHONY: build test race vet fmt bench benchsmoke obs-smoke check
 
 build:
 	$(GO) build ./...
@@ -11,13 +11,17 @@ test:
 vet:
 	$(GO) vet ./...
 
+# fmt fails if any file is not gofmt-clean, printing the offenders.
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+
 race:
 	$(GO) test -race ./...
 
-# check is the CI gate: static analysis plus the full suite under the race
-# detector (the parallel query pipeline is enabled by default, so every test
-# exercises the concurrent paths).
-check: vet race
+# check is the CI gate: formatting, static analysis, then the full suite
+# under the race detector (the parallel query pipeline is enabled by
+# default, so every test exercises the concurrent paths).
+check: fmt vet race
 
 # bench regenerates benchall_output.txt (untracked; see .gitignore) from
 # the full default-scale evaluation.
@@ -28,3 +32,8 @@ bench:
 # that the benchmark harness itself still works.
 benchsmoke:
 	$(GO) test -bench . -benchtime 1x -run xxx ./...
+
+# obs-smoke boots a small warehouse, runs one query, scrapes the Prometheus
+# exporter once over HTTP and verifies the payload parses.
+obs-smoke:
+	$(GO) run ./cmd/xwh -corpus paintings -query '//painting[/name{val}]' -obs-smoke

@@ -7,7 +7,7 @@
 //	         [-exp table4,fig7,...|all] [-repeats N]
 //
 // Experiments: table4, fig7, fig8, table5, fig9, fig9detail, fig10,
-// table6, fig11, fig12, fig13, table7, table8, ablations, advisor.
+// table6, fig11, fig12, fig13, table7, table8, ablations, advisor, obs.
 package main
 
 import (
@@ -143,6 +143,11 @@ func main() {
 		if sel("table8") {
 			fmt.Println(bench.Table8(rows))
 		}
+	}
+	if sel("obs") {
+		rows, _, err := bench.RunObs(corpus)
+		check(err)
+		fmt.Println(bench.ObsTable(rows))
 	}
 	if sel("advisor") {
 		out, err := bench.RunAdvisorAccuracy(env, 2)

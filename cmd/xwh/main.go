@@ -13,6 +13,19 @@
 //
 //	# load XML files from a directory
 //	xwh -dir ./corpus -strategy LUI -query '//item[//name{val}]' -stats
+//
+// Subcommands (before the flags):
+//
+//	# print the observability registry (counters, gauges, histograms)
+//	xwh stats -corpus paintings -query '//painting[/name{val}]'
+//
+//	# print the span tree of one query ("last" or empty selects the
+//	# final query of the run)
+//	xwh trace last -corpus paintings -workload
+//
+// -metrics-addr serves Prometheus text format on /metrics (plus
+// /metrics.json and /trace.json) while the process runs; -obs-smoke
+// scrapes the exporter once over HTTP and verifies it parses.
 package main
 
 import (
@@ -20,6 +33,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
@@ -27,12 +42,32 @@ import (
 	"repro/internal/cloud/ec2"
 	"repro/internal/core"
 	"repro/internal/index"
+	"repro/internal/obs"
 	"repro/internal/pricing"
 	"repro/internal/workload"
 	"repro/internal/xmark"
 )
 
 func main() {
+	// Subcommands ride in front of the flags: "xwh stats ..." and
+	// "xwh trace <queryID> ...".
+	mode, traceID := "", ""
+	if len(os.Args) > 1 && !strings.HasPrefix(os.Args[1], "-") {
+		mode = os.Args[1]
+		rest := os.Args[2:]
+		switch mode {
+		case "stats":
+		case "trace":
+			if len(rest) > 0 && !strings.HasPrefix(rest[0], "-") {
+				traceID = rest[0]
+				rest = rest[1:]
+			}
+		default:
+			fmt.Fprintf(os.Stderr, "unknown subcommand %q (want stats or trace)\n", mode)
+			os.Exit(2)
+		}
+		os.Args = append(os.Args[:1:1], rest...)
+	}
 	corpus := flag.String("corpus", "", `built-in corpus: "paintings"`)
 	dir := flag.String("dir", "", "load .xml files from this directory")
 	docs := flag.Int("docs", 0, "generate this many XMark documents")
@@ -48,6 +83,8 @@ func main() {
 	remove := flag.String("remove", "", "remove this document (file + index entries) before querying")
 	repl := flag.Bool("repl", false, "read queries interactively from stdin after loading")
 	stats := flag.Bool("stats", false, "print warehouse statistics and the bill")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /metrics.json and /trace.json on this address while running")
+	obsSmoke := flag.Bool("obs-smoke", false, "scrape the metrics exporter once over HTTP, verify it parses, and report")
 	flag.Parse()
 
 	s, err := index.ByName(*strategy)
@@ -59,9 +96,15 @@ func main() {
 		log.Fatal(err)
 	}
 
-	wh, err := core.New(core.Config{Strategy: s, Backend: *backend})
+	wh, err := core.New(core.Config{Strategy: s, Backend: *backend, Trace: mode == "trace"})
 	if err != nil {
 		log.Fatal(err)
+	}
+	var metricsAt string
+	if *metricsAddr != "" {
+		if metricsAt, err = serveMetrics(*metricsAddr, wh); err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	var loaded int
@@ -119,6 +162,8 @@ func main() {
 		}
 		fmt.Printf("removed %s (file and index entries)\n", *remove)
 	}
+	book := pricing.Singapore2012()
+	var lastID string
 	run := func(name, text string) {
 		if *explain && !*noIndex {
 			if q, err := core.ParseQueryText(text); err == nil {
@@ -126,13 +171,26 @@ func main() {
 				fmt.Print(index.ExplainLookup(s, q))
 			}
 		}
+		before := wh.Ledger().Snapshot()
 		res, st, err := wh.RunQueryOn(processor, text, !*noIndex)
 		if err != nil {
 			log.Fatalf("%s: %v", name, err)
 		}
+		lastID = st.ID
 		fmt.Printf("\n%s: %s\n", name, text)
 		fmt.Printf("  index gets=%d  docs fetched=%d  rows=%d  modeled response=%v\n",
 			st.GetOps, st.DocsFetched, len(res.Rows), st.ResponseTime)
+		fmt.Printf("  lookup: get time=%v  bytes=%d  twig candidates=%d  cache hits=%d misses=%d  store retries=%d\n",
+			st.Lookup.GetTime, st.Lookup.BytesFetched, st.Lookup.TwigCandidates,
+			st.Lookup.CacheHits, st.Lookup.CacheMisses, st.Lookup.StoreRetries)
+		inv := book.Bill(wh.Ledger().Snapshot().Sub(before))
+		var parts []string
+		for _, svc := range []string{"s3", "dynamodb", "simpledb", "sqs", "egress"} {
+			if amt := inv.Line(svc); amt != 0 {
+				parts = append(parts, fmt.Sprintf("%s %v", svc, amt))
+			}
+		}
+		fmt.Printf("  billed: %v (%s)\n", inv.Total(), strings.Join(parts, ", "))
 		for i, row := range res.Rows {
 			if i == 20 {
 				fmt.Printf("  ... %d more rows\n", len(res.Rows)-20)
@@ -183,8 +241,71 @@ func main() {
 		fmt.Printf("  documents: %d (%.2f MB in the file store)\n", loaded, float64(wh.DataBytes())/(1<<20))
 		fmt.Printf("  index: %.2f MB content + %.2f MB store overhead, %d items\n",
 			float64(raw)/(1<<20), float64(ovh)/(1<<20), wh.IndexItems())
-		book := pricing.Singapore2012()
 		fmt.Printf("\naccumulated bill (activity):\n%s", book.Bill(wh.Ledger().Snapshot()))
 		fmt.Printf("\nmonthly storage:\n%s", book.StorageMonthly(wh.DataBytes(), raw+ovh, *backend))
 	}
+
+	switch mode {
+	case "stats":
+		fmt.Printf("\nobservability registry:\n")
+		obs.WriteText(os.Stdout, wh.Registry())
+	case "trace":
+		id := traceID
+		if id == "" || id == "last" {
+			id = lastID
+		}
+		spans := wh.Tracer().QuerySpans(id)
+		if len(spans) == 0 {
+			fmt.Printf("\nno spans recorded for query %q (run a -query or -workload)\n", id)
+			os.Exit(1)
+		}
+		fmt.Printf("\ntrace of %s:\n%s", id, obs.FormatTree(spans))
+	}
+	if *obsSmoke {
+		if err := smokeScrape(metricsAt, wh); err != nil {
+			log.Fatalf("obs-smoke: %v", err)
+		}
+	}
+}
+
+// serveMetrics starts the HTTP exporter on addr and returns the bound
+// address (useful with port 0).
+func serveMetrics(addr string, wh *core.Warehouse) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	go http.Serve(ln, obs.Handler(wh.Registry(), wh.Tracer()))
+	fmt.Printf("serving metrics on http://%s/metrics\n", ln.Addr())
+	return ln.Addr().String(), nil
+}
+
+// smokeScrape fetches /metrics over HTTP once (starting an ephemeral
+// listener when none is serving) and verifies the payload parses as
+// Prometheus text format.
+func smokeScrape(serving string, wh *core.Warehouse) error {
+	if serving == "" {
+		var err error
+		serving, err = serveMetrics("127.0.0.1:0", wh)
+		if err != nil {
+			return err
+		}
+	}
+	resp, err := http.Get("http://" + serving + "/metrics")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("unexpected status %s", resp.Status)
+	}
+	samples, err := obs.ParseProm(resp.Body)
+	if err != nil {
+		return err
+	}
+	if len(samples) == 0 {
+		return fmt.Errorf("exporter returned no samples")
+	}
+	fmt.Printf("obs-smoke: scraped and parsed %d samples from http://%s/metrics\n", len(samples), serving)
+	return nil
 }

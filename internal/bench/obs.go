@@ -1,0 +1,99 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/cloud/ec2"
+	"repro/internal/core"
+	"repro/internal/index"
+	"repro/internal/obs"
+	"repro/internal/pricing"
+	"repro/internal/workload"
+)
+
+// This file is the observability experiment: index the corpus and run the
+// XMark workload with tracing on, then fold the span journal into a
+// per-stage latency and billed-cost table. Every number comes from the
+// spans' modeled durations and ledger diffs — the same instrumentation
+// `xwh trace` prints per query — so the table doubles as a check that the
+// tracer covers the whole Figure 1 pipeline.
+
+// ObsStageRow aggregates all spans of one pipeline stage.
+type ObsStageRow struct {
+	Stage string
+	Spans int
+	Total time.Duration // summed modeled duration
+	Mean  time.Duration
+	Calls int64 // billed service calls attributed to the stage
+	Units int64
+	Bytes int64
+	Cost  pricing.USD
+}
+
+// RunObs builds a traced warehouse under 2LUPI (the strategy exercising
+// every read-side stage, semijoin and twig join included), indexes the
+// corpus on a fleet, runs the 10-query workload, and aggregates the span
+// journal per stage.
+func RunObs(c *Corpus) ([]ObsStageRow, *core.Warehouse, error) {
+	cfg := core.Config{Strategy: index.TwoLUPI, Trace: true, TraceCapacity: 1 << 16}
+	w, _, _, err := BuildWarehouseCfg(c, cfg, 8, ec2.Large)
+	if err != nil {
+		return nil, nil, err
+	}
+	proc := ec2.Launch(w.Ledger(), ec2.Large)
+	for _, q := range workload.XMark() {
+		if _, _, err := w.RunQueryOn(proc, q.Text, true); err != nil {
+			return nil, nil, err
+		}
+	}
+	book := pricing.Singapore2012()
+	agg := map[string]*ObsStageRow{}
+	for _, sp := range w.Tracer().Spans() {
+		r := agg[sp.Name]
+		if r == nil {
+			r = &ObsStageRow{Stage: sp.Name}
+			agg[sp.Name] = r
+		}
+		r.Spans++
+		r.Total += sp.Modeled
+		for _, op := range sp.Ops {
+			r.Calls += op.Calls
+			r.Units += op.Units
+			r.Bytes += op.Bytes
+		}
+		r.Cost += book.Bill(sp.LedgerDiff()).Total()
+	}
+	names := make([]string, 0, len(agg))
+	for n := range agg {
+		names = append(names, n)
+	}
+	obs.StageOrder(names)
+	rows := make([]ObsStageRow, 0, len(names))
+	for _, n := range names {
+		r := *agg[n]
+		r.Mean = r.Total / time.Duration(r.Spans)
+		rows = append(rows, r)
+	}
+	if dropped := w.Tracer().Dropped(); dropped > 0 {
+		return rows, w, fmt.Errorf("bench: span journal dropped %d spans; raise TraceCapacity", dropped)
+	}
+	return rows, w, nil
+}
+
+// ObsTable renders the per-stage table. Parent stages (index.doc, query,
+// process) subsume their children's time and cost, so columns do not sum
+// down the table; compare siblings, not the whole column.
+func ObsTable(rows []ObsStageRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Observability: per-stage modeled latency and billed cost (2LUPI, traced run)\n")
+	fmt.Fprintf(&b, "%-16s %7s %12s %12s %8s %8s %10s %10s\n",
+		"stage", "spans", "total", "mean", "calls", "units", "bytes", "cost")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-16s %7d %12s %12s %8d %8d %10d %10s\n",
+			r.Stage, r.Spans, r.Total.Round(time.Microsecond), r.Mean.Round(time.Microsecond),
+			r.Calls, r.Units, r.Bytes, usd(r.Cost))
+	}
+	return b.String()
+}

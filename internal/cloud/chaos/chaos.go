@@ -92,6 +92,23 @@ type Counts struct {
 	S3Faults       int64
 }
 
+// CounterSink receives a copy of every fault tally as a named counter
+// increment. The obs Registry satisfies it; defining the interface here
+// keeps this package free of an obs dependency.
+type CounterSink interface {
+	Add(name string, delta int64)
+}
+
+// Counter names streamed to a CounterSink, one per Counts field.
+const (
+	MetricThrottles      = "chaos.throttles"
+	MetricInternals      = "chaos.internals"
+	MetricPartialBatches = "chaos.partial_batches"
+	MetricDupDeliveries  = "chaos.dup_deliveries"
+	MetricExpiredLeases  = "chaos.expired_leases"
+	MetricS3Faults       = "chaos.s3_faults"
+)
+
 // Total sums the injected faults across classes.
 func (c Counts) Total() int64 {
 	return c.Throttles + c.Internals + c.PartialBatches +
@@ -105,6 +122,7 @@ type Injector struct {
 	rng    *rand.Rand
 	rates  Rates
 	counts Counts
+	sink   CounterSink
 }
 
 // NewInjector builds the shared decision source of a plan. Rates outside
@@ -128,7 +146,28 @@ func (inj *Injector) Rates() Rates {
 	return inj.rates
 }
 
+// SetSink streams every future fault tally to sink as well (pass nil to
+// stop). The warehouse points this at its obs Registry, so the injected
+// fault counters appear in the unified metrics surface.
+func (inj *Injector) SetSink(s CounterSink) {
+	inj.mu.Lock()
+	inj.sink = s
+	inj.mu.Unlock()
+}
+
+// note increments a sink counter for one injected fault. Must be called
+// with inj.mu held (the sink's own synchronization is independent).
+func (inj *Injector) note(metric string) {
+	if inj.sink != nil {
+		inj.sink.Add(metric, 1)
+	}
+}
+
 // Counts returns a snapshot of the faults injected so far.
+//
+// Deprecated: when the injector feeds a warehouse, prefer the registry view
+// (core.Warehouse.ChaosCounts), which reads the same tallies from the obs
+// Registry. This accessor remains for standalone injectors and old callers.
 func (inj *Injector) Counts() Counts {
 	inj.mu.Lock()
 	defer inj.mu.Unlock()

@@ -12,6 +12,7 @@ func (inj *Injector) dupDeliver() bool {
 	defer inj.mu.Unlock()
 	if inj.hit(inj.rates.DupDeliver) {
 		inj.counts.DupDeliveries++
+		inj.note(MetricDupDeliveries)
 		return true
 	}
 	return false
@@ -23,6 +24,7 @@ func (inj *Injector) expireLease() bool {
 	defer inj.mu.Unlock()
 	if inj.hit(inj.rates.ExpireLease) {
 		inj.counts.ExpiredLeases++
+		inj.note(MetricExpiredLeases)
 		return true
 	}
 	return false

@@ -15,10 +15,12 @@ func (inj *Injector) kvFault() error {
 	defer inj.mu.Unlock()
 	if inj.hit(inj.rates.Throttle) {
 		inj.counts.Throttles++
+		inj.note(MetricThrottles)
 		return fmt.Errorf("%w (chaos)", kv.ErrThrottled)
 	}
 	if inj.hit(inj.rates.Internal) {
 		inj.counts.Internals++
+		inj.note(MetricInternals)
 		return fmt.Errorf("%w (chaos)", kv.ErrInternal)
 	}
 	return nil
@@ -39,6 +41,7 @@ func (inj *Injector) partialCount(n int) int {
 		return n
 	}
 	inj.counts.PartialBatches++
+	inj.note(MetricPartialBatches)
 	return 1 + inj.rng.Intn(n-1)
 }
 

@@ -38,12 +38,41 @@ type Retry struct {
 	// Seed drives the jitter PRNG; retries of distinct Retry values with
 	// the same seed draw identical jitter sequences.
 	Seed int64
+	// Sink, when non-nil, receives every counter increment as a named
+	// metric (the kv.Metric* constants). The warehouse points it at its obs
+	// Registry. Set before the wrapper is shared; reads are unsynchronized.
+	Sink CounterSink
 
 	rngOnce sync.Once
 	rngMu   sync.Mutex
 	rng     *rand.Rand
 
 	stats retryCounters
+}
+
+// CounterSink receives named counter increments (the obs Registry satisfies
+// it; defining it here keeps kv free of an obs dependency).
+type CounterSink interface {
+	Add(name string, delta int64)
+}
+
+// Counter names streamed to a Retry's Sink, one per RetryStats field.
+const (
+	MetricRetries          = "kv.retry.retries"
+	MetricRetryThrottles   = "kv.retry.throttles"
+	MetricRetryInternal    = "kv.retry.internal"
+	MetricPartialBatches   = "kv.retry.partial_batches"
+	MetricItemsResubmitted = "kv.retry.items_resubmitted"
+	MetricKeysRefetched    = "kv.retry.keys_refetched"
+	MetricGaveUp           = "kv.retry.gave_up"
+)
+
+// bump increments one counter and mirrors it into the sink.
+func (r *Retry) bump(c *atomic.Int64, metric string, delta int64) {
+	c.Add(delta)
+	if r.Sink != nil {
+		r.Sink.Add(metric, delta)
+	}
 }
 
 // RetryStats is a snapshot of a Retry wrapper's degradation counters.
@@ -133,9 +162,9 @@ func (r *Retry) backoff(attempt int) time.Duration {
 func (r *Retry) classify(err error) {
 	switch {
 	case errors.Is(err, ErrThrottled):
-		r.stats.throttles.Add(1)
+		r.bump(&r.stats.throttles, MetricRetryThrottles, 1)
 	case errors.Is(err, ErrInternal):
-		r.stats.internal.Add(1)
+		r.bump(&r.stats.internal, MetricRetryInternal, 1)
 	}
 }
 
@@ -154,10 +183,10 @@ func (r *Retry) retry(op func() (time.Duration, error)) (time.Duration, error) {
 		}
 		r.classify(err)
 		if attempt+1 >= r.attempts() {
-			r.stats.gaveUp.Add(1)
+			r.bump(&r.stats.gaveUp, MetricGaveUp, 1)
 			return total, err
 		}
-		r.stats.retries.Add(1)
+		r.bump(&r.stats.retries, MetricRetries, 1)
 		total += r.backoff(attempt)
 	}
 }
@@ -181,8 +210,8 @@ func (r *Retry) BatchPut(table string, items []Item) (time.Duration, error) {
 		var pe *PartialPutError
 		switch {
 		case errors.As(err, &pe):
-			r.stats.partialBatches.Add(1)
-			r.stats.itemsResub.Add(int64(len(pe.Unprocessed)))
+			r.bump(&r.stats.partialBatches, MetricPartialBatches, 1)
+			r.bump(&r.stats.itemsResub, MetricItemsResubmitted, int64(len(pe.Unprocessed)))
 			if len(pe.Unprocessed) < len(pending) {
 				attempt = 0 // progress refreshes the budget
 			} else {
@@ -196,10 +225,10 @@ func (r *Retry) BatchPut(table string, items []Item) (time.Duration, error) {
 			return total, err
 		}
 		if attempt >= r.attempts() {
-			r.stats.gaveUp.Add(1)
+			r.bump(&r.stats.gaveUp, MetricGaveUp, 1)
 			return total, err
 		}
-		r.stats.retries.Add(1)
+		r.bump(&r.stats.retries, MetricRetries, 1)
 		total += r.backoff(attempt)
 	}
 }
@@ -239,8 +268,8 @@ func (r *Retry) BatchGet(table string, hashKeys []string) (map[string][]Item, ti
 		var pe *PartialGetError
 		switch {
 		case errors.As(err, &pe):
-			r.stats.partialBatches.Add(1)
-			r.stats.keysRefetc.Add(int64(len(pe.UnprocessedKeys)))
+			r.bump(&r.stats.partialBatches, MetricPartialBatches, 1)
+			r.bump(&r.stats.keysRefetc, MetricKeysRefetched, int64(len(pe.UnprocessedKeys)))
 			if len(pe.UnprocessedKeys) < len(pending) {
 				attempt = 0 // progress refreshes the budget
 			} else {
@@ -254,10 +283,10 @@ func (r *Retry) BatchGet(table string, hashKeys []string) (map[string][]Item, ti
 			return nil, total, err
 		}
 		if attempt >= r.attempts() {
-			r.stats.gaveUp.Add(1)
+			r.bump(&r.stats.gaveUp, MetricGaveUp, 1)
 			return nil, total, err
 		}
-		r.stats.retries.Add(1)
+		r.bump(&r.stats.retries, MetricRetries, 1)
 		total += r.backoff(attempt)
 	}
 }

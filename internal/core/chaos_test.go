@@ -199,7 +199,10 @@ func chaosDifferentialIndexing(t *testing.T, bulk bool) {
 	chaotic, err := New(Config{
 		Strategy: index.TwoLUPI,
 		BulkLoad: bulk,
-		Chaos:    &chaos.Plan{Seed: seed, Rates: aggressiveRates()},
+		// Tracing on the chaotic side proves the span journal perturbs
+		// nothing even under concurrent workers and injected faults.
+		Trace: true,
+		Chaos: &chaos.Plan{Seed: seed, Rates: aggressiveRates()},
 		// Injected redeliveries must not push healthy documents into the
 		// dead-letter queue: raise the redrive threshold far above what the
 		// fault rates can produce.

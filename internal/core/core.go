@@ -38,6 +38,7 @@ import (
 	"repro/internal/cloud/sqs"
 	"repro/internal/index"
 	"repro/internal/meter"
+	"repro/internal/obs"
 )
 
 // Names of the warehouse's cloud resources.
@@ -165,6 +166,22 @@ type Config struct {
 	// only real wall-clock time changes.
 	PipelineDepth int
 
+	// Obs is the metrics registry the warehouse records into; a fresh one
+	// is created when nil. Registry metrics are always on — they are plain
+	// atomic counters and mutex-guarded histograms, never service calls, so
+	// they change neither billing nor results.
+	Obs *obs.Registry
+	// Trace enables the pipeline span tracer. Spans diff the ledger and
+	// enter a bounded journal; like the registry they are side-effect-free,
+	// and their sequential IDs draw no randomness, so a traced run is
+	// byte-identical to an untraced one (the obs differential tests assert
+	// this). Off by default: span bookkeeping costs a ledger snapshot per
+	// span, which the hot query path should not pay unless asked.
+	Trace bool
+	// TraceCapacity bounds the span journal (default
+	// obs.DefaultJournalCapacity); the oldest spans are dropped beyond it.
+	TraceCapacity int
+
 	// Chaos, when set, interposes the seeded fault-injection layer between
 	// the warehouse and all three cloud services — throttling, transient
 	// errors and partial batches on the index store; duplicate delivery and
@@ -235,8 +252,74 @@ type Warehouse struct {
 	chaosInj *chaos.Injector
 	retry    *kv.Retry
 
+	reg    *obs.Registry
+	tracer *obs.Tracer // nil unless Config.Trace
+	met    coreMetrics
+
 	mu       sync.Mutex
 	querySeq int
+}
+
+// coreMetrics holds the warehouse's hot-path instruments, resolved once at
+// construction so instrumented code never takes the registry lock.
+type coreMetrics struct {
+	submitDocs    *obs.Counter
+	submitQueries *obs.Counter
+
+	queryProcessed *obs.Counter
+	queryFailed    *obs.Counter
+
+	workerProcessed    *obs.Counter
+	workerFailures     *obs.Counter
+	workerRedeliveries *obs.Counter
+	leaseRenewals      *obs.Counter
+
+	lookupGetOps         *obs.Counter
+	lookupBytes          *obs.Counter
+	lookupTwigCandidates *obs.Counter
+	lookupStoreRetries   *obs.Counter
+	lookupGetTimeNS      *obs.Counter
+	cacheHits            *obs.Counter
+	cacheMisses          *obs.Counter
+	cacheEvictions       *obs.Counter
+
+	queryResponse  *obs.Histogram
+	queryLookup    *obs.Histogram
+	queryPlan      *obs.Histogram
+	queryFetchEval *obs.Histogram
+	indexExtract   *obs.Histogram
+	indexUpload    *obs.Histogram
+}
+
+func resolveMetrics(r *obs.Registry) coreMetrics {
+	return coreMetrics{
+		submitDocs:    r.Counter("core.submit.documents"),
+		submitQueries: r.Counter("core.submit.queries"),
+
+		queryProcessed: r.Counter("core.query.processed"),
+		queryFailed:    r.Counter("core.query.failed"),
+
+		workerProcessed:    r.Counter("core.worker.processed"),
+		workerFailures:     r.Counter("core.worker.failures"),
+		workerRedeliveries: r.Counter("core.worker.redeliveries"),
+		leaseRenewals:      r.Counter("core.worker.lease_renewals"),
+
+		lookupGetOps:         r.Counter("index.lookup.get_ops"),
+		lookupBytes:          r.Counter("index.lookup.bytes_fetched"),
+		lookupTwigCandidates: r.Counter("index.lookup.twig_candidates"),
+		lookupStoreRetries:   r.Counter("index.lookup.store_retries"),
+		lookupGetTimeNS:      r.Counter("index.lookup.get_time_ns"),
+		cacheHits:            r.Counter("index.cache.hits"),
+		cacheMisses:          r.Counter("index.cache.misses"),
+		cacheEvictions:       r.Counter("index.cache.evictions"),
+
+		queryResponse:  r.Histogram("core.query.response"),
+		queryLookup:    r.Histogram("core.query.lookup"),
+		queryPlan:      r.Histogram("core.query.plan"),
+		queryFetchEval: r.Histogram("core.query.fetch_eval"),
+		indexExtract:   r.Histogram("core.index.extract"),
+		indexUpload:    r.Histogram("core.index.upload"),
+	}
 }
 
 // New provisions the warehouse's bucket, queues and index tables.
@@ -256,6 +339,10 @@ func New(cfg Config) (*Warehouse, error) {
 	}
 	baseFiles := s3.New(ledger)
 	baseQueues := sqs.New(ledger)
+	reg := cfg.Obs
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
 	w := &Warehouse{
 		Strategy:       cfg.Strategy,
 		Perf:           cfg.Perf.withDefaults(),
@@ -273,16 +360,23 @@ func New(cfg Config) (*Warehouse, error) {
 		baseFiles:      baseFiles,
 		baseStore:      baseStore,
 		baseQueues:     baseQueues,
+		reg:            reg,
+		met:            resolveMetrics(reg),
+	}
+	if cfg.Trace {
+		w.tracer = obs.NewTracer(ledger, cfg.TraceCapacity)
 	}
 	if cfg.Chaos != nil {
 		// One injector drives all three wrappers, so a single seed fixes
 		// the whole fault schedule; the retry layer in front of the store
 		// absorbs the injected kv faults (and any real throttling).
 		w.chaosInj = chaos.NewInjector(*cfg.Chaos)
+		w.chaosInj.SetSink(reg)
 		w.files = chaos.WrapFiles(baseFiles, w.chaosInj)
 		w.queues = chaos.WrapQueues(baseQueues, w.chaosInj)
 		w.retry = kv.NewRetry(chaos.WrapStore(baseStore, w.chaosInj))
 		w.retry.Seed = cfg.Chaos.Seed + 1
+		w.retry.Sink = reg
 		w.store = w.retry
 	}
 	if cfg.PostingCacheBytes > 0 {
@@ -334,22 +428,63 @@ func (w *Warehouse) Queues() *sqs.Service { return w.baseQueues }
 // injection before a verification phase).
 func (w *Warehouse) ChaosInjector() *chaos.Injector { return w.chaosInj }
 
+// Registry exposes the warehouse's metrics registry.
+func (w *Warehouse) Registry() *obs.Registry { return w.reg }
+
+// Tracer exposes the pipeline span tracer, or nil when Config.Trace is off.
+func (w *Warehouse) Tracer() *obs.Tracer { return w.tracer }
+
 // ChaosCounts reports the faults injected so far (zero value when no chaos
-// layer is configured).
+// layer is configured). It is a thin view over the obs Registry: the
+// injector streams every tally into the registry's chaos.* counters, and
+// this accessor reads them back.
 func (w *Warehouse) ChaosCounts() chaos.Counts {
 	if w.chaosInj == nil {
 		return chaos.Counts{}
 	}
-	return w.chaosInj.Counts()
+	return chaos.Counts{
+		Throttles:      w.reg.Counter(chaos.MetricThrottles).Value(),
+		Internals:      w.reg.Counter(chaos.MetricInternals).Value(),
+		PartialBatches: w.reg.Counter(chaos.MetricPartialBatches).Value(),
+		DupDeliveries:  w.reg.Counter(chaos.MetricDupDeliveries).Value(),
+		ExpiredLeases:  w.reg.Counter(chaos.MetricExpiredLeases).Value(),
+		S3Faults:       w.reg.Counter(chaos.MetricS3Faults).Value(),
+	}
 }
 
 // RetryStats reports the degradation absorbed by the store retry layer
-// (zero value when no chaos layer is configured).
+// (zero value when no chaos layer is configured). Like ChaosCounts it is a
+// registry view: the retry wrapper mirrors every counter into the
+// registry's kv.retry.* metrics.
 func (w *Warehouse) RetryStats() kv.RetryStats {
 	if w.retry == nil {
 		return kv.RetryStats{}
 	}
-	return w.retry.RetryStats()
+	return kv.RetryStats{
+		Retries:          w.reg.Counter(kv.MetricRetries).Value(),
+		Throttles:        w.reg.Counter(kv.MetricRetryThrottles).Value(),
+		Internal:         w.reg.Counter(kv.MetricRetryInternal).Value(),
+		PartialBatches:   w.reg.Counter(kv.MetricPartialBatches).Value(),
+		ItemsResubmitted: w.reg.Counter(kv.MetricItemsResubmitted).Value(),
+		KeysRefetched:    w.reg.Counter(kv.MetricKeysRefetched).Value(),
+		GaveUp:           w.reg.Counter(kv.MetricGaveUp).Value(),
+	}
+}
+
+// LookupTotals reports the cumulative look-up statistics of every query the
+// warehouse processed, read from the obs Registry (the per-query numbers
+// are in each QueryStats.Lookup).
+func (w *Warehouse) LookupTotals() index.LookupStats {
+	return index.LookupStats{
+		GetOps:         w.met.lookupGetOps.Value(),
+		GetTime:        time.Duration(w.met.lookupGetTimeNS.Value()),
+		BytesFetched:   w.met.lookupBytes.Value(),
+		TwigCandidates: int(w.met.lookupTwigCandidates.Value()),
+		CacheHits:      w.met.cacheHits.Value(),
+		CacheMisses:    w.met.cacheMisses.Value(),
+		CacheEvictions: w.met.cacheEvictions.Value(),
+		StoreRetries:   w.met.lookupStoreRetries.Value(),
+	}
 }
 
 // DataBytes returns the stored document bytes (s(D)).
@@ -412,6 +547,19 @@ func (w *Warehouse) nextQueryID() string {
 
 // PostingCache exposes the hot-key posting cache, or nil when disabled.
 func (w *Warehouse) PostingCache() *index.PostingCache { return w.cache }
+
+// noteLookup folds one look-up's statistics into the registry counters;
+// LookupTotals reads them back.
+func (w *Warehouse) noteLookup(lst index.LookupStats) {
+	w.met.lookupGetOps.Add(lst.GetOps)
+	w.met.lookupBytes.Add(lst.BytesFetched)
+	w.met.lookupTwigCandidates.Add(int64(lst.TwigCandidates))
+	w.met.lookupStoreRetries.Add(lst.StoreRetries)
+	w.met.lookupGetTimeNS.Add(int64(lst.GetTime))
+	w.met.cacheHits.Add(lst.CacheHits)
+	w.met.cacheMisses.Add(lst.CacheMisses)
+	w.met.cacheEvictions.Add(lst.CacheEvictions)
+}
 
 // docWorkers is the effective step-13 worker-pool size.
 func (w *Warehouse) docWorkers() int {

@@ -9,6 +9,7 @@ import (
 	"repro/internal/cloud/ec2"
 	"repro/internal/engine"
 	"repro/internal/index"
+	"repro/internal/obs"
 )
 
 // This file implements the front end (steps 1-3, 7-8 and 16-18 of
@@ -20,24 +21,42 @@ import (
 // SubmitDocument stores a document in the file store and enqueues a
 // loading request (steps 1-3).
 func (w *Warehouse) SubmitDocument(uri string, data []byte) error {
-	if _, err := w.files.Put(Bucket, DocKey(uri), data, nil); err != nil {
+	sp := w.tracer.Start(obs.SpanSubmitDocument)
+	sp.SetAttr("uri", uri)
+	defer sp.End()
+	put, err := w.files.Put(Bucket, DocKey(uri), data, nil)
+	if err != nil {
+		sp.SetError(err)
 		return err
 	}
-	_, _, err := w.queues.Send(LoaderQueue, uri)
+	_, send, err := w.queues.Send(LoaderQueue, uri)
+	sp.SetModeled(put + send)
+	sp.SetError(err)
+	if err == nil {
+		w.met.submitDocs.Inc()
+	}
 	return err
 }
 
 // SubmitQuery enqueues a query (steps 7-8) and returns its identifier.
 func (w *Warehouse) SubmitQuery(queryText string, useIndex bool) (string, error) {
 	id := w.nextQueryID()
+	sp := w.tracer.Start(obs.SpanSubmitQuery)
+	sp.SetAttr("id", id)
+	defer sp.End()
 	msg := queryMessage{ID: id, Query: queryText, Strategy: w.Strategy.Name(), NoIndex: !useIndex}
 	body, err := json.Marshal(msg)
 	if err != nil {
+		sp.SetError(err)
 		return "", err
 	}
-	if _, _, err := w.queues.Send(QueryQueue, string(body)); err != nil {
+	_, send, err := w.queues.Send(QueryQueue, string(body))
+	sp.SetModeled(send)
+	if err != nil {
+		sp.SetError(err)
 		return "", err
 	}
+	w.met.submitQueries.Inc()
 	return id, nil
 }
 
@@ -135,11 +154,14 @@ func (wk *Worker) Redeliveries() int {
 	return wk.redelivered
 }
 
-func (wk *Worker) noteReceive(receiveCount int) {
+// noteReceive records a delivery; redeliveries also bump the given
+// registry counter (nil-safe).
+func (wk *Worker) noteReceive(receiveCount int, redeliveries *obs.Counter) {
 	if receiveCount > 1 {
 		wk.mu.Lock()
 		wk.redelivered++
 		wk.mu.Unlock()
+		redeliveries.Inc()
 	}
 }
 
@@ -223,35 +245,46 @@ func (w *Warehouse) StartIndexer(in *ec2.Instance, opts WorkerOptions) *Worker {
 			if err != nil || msg == nil {
 				continue
 			}
-			wk.noteReceive(msg.ReceiveCount)
+			wk.noteReceive(msg.ReceiveCount, w.met.workerRedeliveries)
+			dsp := w.tracer.Start(obs.SpanIndexDoc)
+			dsp.SetAttr("uri", msg.Body)
 			stopRenew := w.renewLease(wk, LoaderQueue, msg.Receipt, opts.Visibility)
 			if opts.WorkDelay > 0 {
 				time.Sleep(opts.WorkDelay)
 			}
 			if wk.crashedNow() {
 				stopRenew()
+				dsp.End()
 				return
 			}
-			res, err := w.indexDocument(in, msg.Body)
+			res, err := w.indexDocument(in, msg.Body, dsp)
 			stopRenew()
 			if wk.crashedNow() {
+				dsp.End()
 				return
 			}
 			if err != nil {
+				dsp.SetError(err)
+				dsp.End()
 				wk.mu.Lock()
 				wk.failures++
 				wk.mu.Unlock()
+				w.met.workerFailures.Inc()
 				continue // lease will expire; the message is retried
 			}
 			if _, err := w.queues.Delete(LoaderQueue, msg.Receipt); err != nil {
 				// Lease lost: another worker owns the message now; our
 				// index writes are idempotent at the entry level.
+				dsp.End()
 				continue
 			}
 			in.Run(rtt + res.ExtractTime + res.UploadTime)
+			dsp.SetModeled(rtt + res.ExtractTime + res.UploadTime)
+			dsp.End()
 			wk.mu.Lock()
 			wk.processed++
 			wk.mu.Unlock()
+			w.met.workerProcessed.Inc()
 		}
 	}()
 	return wk
@@ -264,6 +297,7 @@ type heldMessage struct {
 	receipt   string
 	rtt       time.Duration
 	res       IndexTaskResult
+	span      *obs.Span // index.doc root; ended at settle or abandon
 	stopRenew func()
 	settled   bool // deleted (or given up on) before the group flush
 }
@@ -294,7 +328,7 @@ func (w *Warehouse) bulkIndexerLoop(wk *Worker, in *ec2.Instance, opts WorkerOpt
 		group  []*heldMessage
 	)
 	reset := func() {
-		loader = index.NewBulkLoader(w.store, index.BulkOptions{FlushItems: w.bulkFlushItems}, w.cache)
+		loader = index.NewBulkLoader(w.store, index.BulkOptions{FlushItems: w.bulkFlushItems, Obs: w.reg}, w.cache)
 		group = nil
 	}
 	reset()
@@ -311,24 +345,34 @@ func (w *Warehouse) bulkIndexerLoop(wk *Worker, in *ec2.Instance, opts WorkerOpt
 			next++
 			h.stopRenew()
 			h.settled = true
+			usp := h.span.Child(obs.SpanUpload)
+			usp.SetModeled(dl.Upload)
+			usp.End()
+			w.met.indexUpload.ObserveModeled(dl.Upload)
 			if _, err := w.queues.Delete(LoaderQueue, h.receipt); err != nil {
 				// Lease lost: another worker owns the message; our writes
 				// are idempotent, so its redelivery converges.
+				h.span.End()
 				continue
 			}
 			in.Run(h.rtt + h.res.ExtractTime + dl.Upload)
+			h.span.SetModeled(h.rtt + h.res.ExtractTime + dl.Upload)
+			h.span.End()
 			wk.mu.Lock()
 			wk.processed++
 			wk.mu.Unlock()
+			w.met.workerProcessed.Inc()
 		}
 	}
 	abandon := func() {
 		for _, h := range group {
 			if !h.settled {
 				h.stopRenew()
+				h.span.End()
 				wk.mu.Lock()
 				wk.failures++
 				wk.mu.Unlock()
+				w.met.workerFailures.Inc()
 			}
 		}
 		reset()
@@ -366,28 +410,35 @@ func (w *Warehouse) bulkIndexerLoop(wk *Worker, in *ec2.Instance, opts WorkerOpt
 			flushGroup() // idle: do not sit on held leases
 			continue
 		}
-		wk.noteReceive(msg.ReceiveCount)
+		wk.noteReceive(msg.ReceiveCount, w.met.workerRedeliveries)
+		dsp := w.tracer.Start(obs.SpanIndexDoc)
+		dsp.SetAttr("uri", msg.Body)
 		stopRenew := w.renewLease(wk, LoaderQueue, msg.Receipt, opts.Visibility)
 		if opts.WorkDelay > 0 {
 			time.Sleep(opts.WorkDelay)
 		}
 		if wk.crashedNow() {
 			stopRenew()
+			dsp.End()
 			return
 		}
-		res, ex, err := w.extractDocument(in, msg.Body)
+		res, ex, err := w.extractDocument(in, msg.Body, dsp)
 		if wk.crashedNow() {
 			stopRenew()
+			dsp.End()
 			return
 		}
 		if err != nil {
 			stopRenew()
+			dsp.SetError(err)
+			dsp.End()
 			wk.mu.Lock()
 			wk.failures++
 			wk.mu.Unlock()
+			w.met.workerFailures.Inc()
 			continue // lease will expire; the message is retried
 		}
-		group = append(group, &heldMessage{receipt: msg.Receipt, rtt: rtt, res: res, stopRenew: stopRenew})
+		group = append(group, &heldMessage{receipt: msg.Receipt, rtt: rtt, res: res, span: dsp, stopRenew: stopRenew})
 		done, err := loader.Add(ex)
 		settle(done)
 		if wk.crashedNow() {
@@ -419,7 +470,7 @@ func (w *Warehouse) StartQueryProcessor(in *ec2.Instance, opts WorkerOptions) *W
 			if err != nil || msg == nil {
 				continue
 			}
-			wk.noteReceive(msg.ReceiveCount)
+			wk.noteReceive(msg.ReceiveCount, w.met.workerRedeliveries)
 			stopRenew := w.renewLease(wk, QueryQueue, msg.Receipt, opts.Visibility)
 			if opts.WorkDelay > 0 {
 				time.Sleep(opts.WorkDelay)
@@ -434,11 +485,16 @@ func (w *Warehouse) StartQueryProcessor(in *ec2.Instance, opts WorkerOptions) *W
 				resp = responseMessage{Error: err.Error()}
 			} else {
 				resp.ID = qm.ID
-				if _, _, err := w.processQuery(in, qm); err != nil {
+				root := w.tracer.Start(obs.SpanQuery)
+				root.SetAttr("id", qm.ID)
+				if _, stats, err := w.processQuery(in, qm, root); err != nil {
 					resp.Error = err.Error()
+					root.SetError(err)
 				} else {
 					resp.ResultKey = resultsPrefix + qm.ID
+					root.SetModeled(stats.ResponseTime)
 				}
+				root.End()
 			}
 			stopRenew()
 			if wk.crashedNow() {
@@ -458,6 +514,11 @@ func (w *Warehouse) StartQueryProcessor(in *ec2.Instance, opts WorkerOptions) *W
 				wk.processed++
 			}
 			wk.mu.Unlock()
+			if resp.Error != "" {
+				w.met.workerFailures.Inc()
+			} else {
+				w.met.workerProcessed.Inc()
+			}
 		}
 	}()
 	return wk
@@ -493,6 +554,7 @@ func (w *Warehouse) renewLease(wk *Worker, queue, receipt string, visibility tim
 				if _, err := w.queues.ChangeVisibility(queue, receipt, visibility); err != nil {
 					return
 				}
+				w.met.leaseRenewals.Inc()
 			}
 		}
 	}()

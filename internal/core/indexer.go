@@ -7,6 +7,7 @@ import (
 	"repro/internal/cloud/ec2"
 	"repro/internal/cloud/sqs"
 	"repro/internal/index"
+	"repro/internal/obs"
 	"repro/internal/xmltree"
 )
 
@@ -28,22 +29,34 @@ type IndexTaskResult struct {
 // extractDocument performs the EC2-side half of one loader message: fetch
 // the document, parse it, and build its index entries. The returned
 // extraction has not been written; ExtractTime covers the fetch latency and
-// the modeled parse/extract compute.
-func (w *Warehouse) extractDocument(in *ec2.Instance, uri string) (IndexTaskResult, *index.Extraction, error) {
+// the modeled parse/extract compute. The work is traced as an "extract"
+// child of parent (nil parent or tracer: no span).
+func (w *Warehouse) extractDocument(in *ec2.Instance, uri string, parent *obs.Span) (IndexTaskResult, *index.Extraction, error) {
+	esp := parent.Child(obs.SpanExtract)
 	res := IndexTaskResult{URI: uri}
 	obj, fetch, err := w.files.Get(Bucket, DocKey(uri))
 	if err != nil {
-		return res, nil, fmt.Errorf("core: fetching %s: %w", uri, err)
+		err = fmt.Errorf("core: fetching %s: %w", uri, err)
+		esp.SetError(err)
+		esp.End()
+		return res, nil, err
 	}
 	res.DocBytes = int64(len(obj.Data))
 	doc, err := xmltree.Parse(uri, obj.Data)
 	if err != nil {
+		esp.SetError(err)
+		esp.End()
 		return res, nil, err
 	}
 	ex := index.Extract(w.Strategy, doc, w.indexOptions())
 	res.ExtractTime = fetch +
 		in.ComputeDuration(res.DocBytes, w.Perf.ParseBytesPerECUSec) +
 		in.ComputeDuration(ex.Bytes, w.Perf.ExtractBytesPerECUSec)
+	w.met.indexExtract.ObserveModeled(res.ExtractTime)
+	esp.SetModeled(res.ExtractTime)
+	esp.SetAttrInt("doc_bytes", res.DocBytes)
+	esp.SetAttrInt("entry_bytes", ex.Bytes)
+	esp.End()
 	return res, ex, nil
 }
 
@@ -54,17 +67,25 @@ func (w *Warehouse) extractDocument(in *ec2.Instance, uri string) (IndexTaskResu
 // rather than duplicates: indexing is idempotent, and at-least-once queue
 // delivery yields exactly-once index contents. The returned durations are
 // modeled; the caller schedules them.
-func (w *Warehouse) indexDocument(in *ec2.Instance, uri string) (IndexTaskResult, error) {
-	res, ex, err := w.extractDocument(in, uri)
+func (w *Warehouse) indexDocument(in *ec2.Instance, uri string, parent *obs.Span) (IndexTaskResult, error) {
+	res, ex, err := w.extractDocument(in, uri, parent)
 	if err != nil {
 		return res, err
 	}
+	usp := parent.Child(obs.SpanUpload)
 	upload, stats, err := index.WriteExtraction(w.store, ex, w.cache)
 	if err != nil {
+		usp.SetError(err)
+		usp.End()
 		return res, err
 	}
 	res.UploadTime = upload
 	res.Stats = stats
+	w.met.indexUpload.ObserveModeled(upload)
+	usp.SetModeled(upload)
+	usp.SetAttrInt("items", int64(stats.Items))
+	usp.SetAttrInt("requests", int64(stats.Requests))
+	usp.End()
 	return res, nil
 }
 
@@ -163,21 +184,29 @@ func (w *Warehouse) perDocIndexLoop(fleet []*ec2.Instance, report *IndexReport, 
 			return nil
 		}
 		in := fleet[i%len(fleet)]
-		res, err := w.indexDocument(in, msg.Body)
+		dsp := w.tracer.Start(obs.SpanIndexDoc)
+		dsp.SetAttr("uri", msg.Body)
+		res, err := w.indexDocument(in, msg.Body, dsp)
 		if err != nil {
 			// Release the lease before bailing out: the message becomes
 			// visible again immediately, so a rerun of the driver (or a
 			// live worker) can pick it up instead of waiting out the
 			// 5-minute lease on a message nobody is processing.
+			dsp.SetError(err)
+			dsp.End()
 			w.nackLoaderMessage(msg.Receipt)
 			return fmt.Errorf("core: indexing %s: %w", msg.Body, err)
 		}
 		drtt, err := w.deleteLoaderMessage(msg.Receipt)
 		if err != nil {
+			dsp.SetError(err)
+			dsp.End()
 			w.nackLoaderMessage(msg.Receipt)
 			return err
 		}
 		in.Run(rtt + res.ExtractTime + res.UploadTime + drtt)
+		dsp.SetModeled(rtt + res.ExtractTime + res.UploadTime + drtt)
+		dsp.End()
 		report.Docs++
 		report.DataBytes += res.DocBytes
 		report.Entries += res.Stats.Entries
@@ -206,12 +235,13 @@ func (w *Warehouse) pipeDepth() int {
 
 // indexTask is one loader message moving through the bulk pipeline.
 type indexTask struct {
-	msg *sqs.Message
-	rtt time.Duration
-	in  *ec2.Instance
-	res IndexTaskResult
-	ex  *index.Extraction
-	err error
+	msg  *sqs.Message
+	rtt  time.Duration
+	in   *ec2.Instance
+	span *obs.Span // index.doc root; ended when the document settles
+	res  IndexTaskResult
+	ex   *index.Extraction
+	err  error
 }
 
 // inflightDoc is a task whose extraction has been scheduled and whose items
@@ -254,7 +284,9 @@ func (w *Warehouse) bulkIndexLoop(fleet []*ec2.Instance, report *IndexReport, pe
 			return nil
 		}
 		t := &indexTask{msg: msg, rtt: rtt, in: fleet[i%len(fleet)]}
-		t.res, t.ex, t.err = w.extractDocument(t.in, msg.Body)
+		t.span = w.tracer.Start(obs.SpanIndexDoc)
+		t.span.SetAttr("uri", msg.Body)
+		t.res, t.ex, t.err = w.extractDocument(t.in, msg.Body, t.span)
 		return t
 	}
 	var next func() *indexTask
@@ -279,12 +311,13 @@ func (w *Warehouse) bulkIndexLoop(fleet []*ec2.Instance, report *IndexReport, pe
 		next = func() *indexTask { t := produce(i); i++; return t }
 	}
 
-	loader := index.NewBulkLoader(w.store, index.BulkOptions{FlushItems: w.bulkFlushItems}, w.cache)
+	loader := index.NewBulkLoader(w.store, index.BulkOptions{FlushItems: w.bulkFlushItems, Obs: w.reg}, w.cache)
 	var queue []*inflightDoc
 	uploadEnd := make(map[*ec2.Instance][]time.Duration)
 	nackAll := func() {
 		for _, fl := range queue {
 			w.nackLoaderMessage(fl.t.msg.Receipt)
+			fl.t.span.End()
 		}
 	}
 	// complete settles documents the loader released, in FIFO order:
@@ -297,8 +330,14 @@ func (w *Warehouse) bulkIndexLoop(fleet []*ec2.Instance, report *IndexReport, pe
 			}
 			fl := queue[0]
 			queue = queue[1:]
+			usp := fl.t.span.Child(obs.SpanUpload)
+			usp.SetModeled(dl.Upload)
+			usp.End()
+			w.met.indexUpload.ObserveModeled(dl.Upload)
 			drtt, err := w.deleteLoaderMessage(fl.t.msg.Receipt)
 			if err != nil {
+				fl.t.span.SetError(err)
+				fl.t.span.End()
 				w.nackLoaderMessage(fl.t.msg.Receipt)
 				return err
 			}
@@ -314,6 +353,8 @@ func (w *Warehouse) bulkIndexLoop(fleet []*ec2.Instance, report *IndexReport, pe
 				end = fl.ready
 			}
 			lanes[fl.core] = end + dl.Upload
+			fl.t.span.SetModeled(fl.t.rtt + fl.t.res.ExtractTime + dl.Upload + drtt)
+			fl.t.span.End()
 			perUpload[in] += dl.Upload
 			report.Docs++
 			report.DataBytes += fl.t.res.DocBytes
@@ -333,6 +374,8 @@ func (w *Warehouse) bulkIndexLoop(fleet []*ec2.Instance, report *IndexReport, pe
 			if t.msg != nil {
 				w.nackLoaderMessage(t.msg.Receipt)
 			}
+			t.span.SetError(t.err)
+			t.span.End()
 			nackAll()
 			if t.msg != nil {
 				return fmt.Errorf("core: indexing %s: %w", t.msg.Body, t.err)

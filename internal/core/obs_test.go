@@ -1,0 +1,163 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cloud/ec2"
+	"repro/internal/index"
+	"repro/internal/obs"
+	"repro/internal/workload"
+	"repro/internal/xmark"
+)
+
+func obsTestCorpus() []xmark.Doc {
+	cfg := xmark.DefaultConfig(10)
+	cfg.Seed = 7
+	cfg.TargetDocBytes = 4 << 10
+	return xmark.Generate(cfg)
+}
+
+// TestObsDifferential is the determinism contract of the observability
+// subsystem: a traced run issues no service calls of its own and draws no
+// randomness, so indexing and querying the same corpus with tracing on must
+// leave the warehouse byte-identical to an untraced run — same metered
+// bill, same index store contents, same answers to all ten workload
+// queries.
+func TestObsDifferential(t *testing.T) {
+	docs := obsTestCorpus()
+
+	plain, pr := indexCorpus(t, Config{Strategy: index.TwoLUPI}, 2, docs)
+	traced, tr := indexCorpus(t, Config{Strategy: index.TwoLUPI, Trace: true}, 2, docs)
+	if pr != tr {
+		t.Errorf("index reports differ: plain %+v, traced %+v", pr, tr)
+	}
+
+	plainRows, tracedRows := runWorkload(t, plain), runWorkload(t, traced)
+	for name, want := range plainRows {
+		got := tracedRows[name]
+		if len(got) != len(want) {
+			t.Errorf("%s: plain %d rows, traced %d", name, len(want), len(got))
+			continue
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("%s row %d: plain %q, traced %q", name, i, want[i], got[i])
+				break
+			}
+		}
+	}
+
+	// The bill must match to the byte: tracing reads the ledger but never
+	// writes it.
+	pu, tu := plain.Ledger().Snapshot().String(), traced.Ledger().Snapshot().String()
+	if pu != tu {
+		t.Errorf("metered usage differs:\nplain:\n%s\ntraced:\n%s", pu, tu)
+	}
+
+	pd, td := dumpStore(t, plain), dumpStore(t, traced)
+	for _, tbl := range plain.Strategy.Tables() {
+		if len(pd[tbl]) != len(td[tbl]) {
+			t.Errorf("%s: plain %d items, traced %d", tbl, len(pd[tbl]), len(td[tbl]))
+			continue
+		}
+		for i := range pd[tbl] {
+			if itemLine(pd[tbl][i]) != itemLine(td[tbl][i]) {
+				t.Errorf("%s item %d differs under tracing", tbl, i)
+				break
+			}
+		}
+	}
+
+	if plain.Tracer() != nil {
+		t.Error("untraced warehouse has a tracer")
+	}
+	if traced.Tracer() == nil || len(traced.Tracer().Spans()) == 0 {
+		t.Error("traced warehouse recorded no spans")
+	}
+}
+
+// TestTracedSpanTree checks the shape of one query's span tree: a query
+// root spanning the whole round trip, submit/process/fetch children, the
+// look-up pipeline nested under process, billed calls attributed to the
+// index read, and modeled durations that are stable across identical runs.
+func TestTracedSpanTree(t *testing.T) {
+	docs := obsTestCorpus()
+
+	trace := func() (spans []obs.SpanRecord, id string) {
+		w, _ := indexCorpus(t, Config{Strategy: index.TwoLUPI, Trace: true}, 2, docs)
+		in := ec2.Launch(w.ledger, ec2.XL)
+		_, st, err := w.RunQueryOn(in, workload.XMark()[2].Text, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return w.Tracer().QuerySpans(st.ID), st.ID
+	}
+	spans, id := trace()
+	if len(spans) == 0 {
+		t.Fatalf("no spans recorded for query %s", id)
+	}
+
+	byName := map[string]obs.SpanRecord{}
+	byID := map[int64]obs.SpanRecord{}
+	for _, r := range spans {
+		byName[r.Name] = r
+		byID[r.ID] = r
+	}
+	root, ok := byName[obs.SpanQuery]
+	if !ok || root.Parent != 0 {
+		t.Fatalf("no root %s span (got %v)", obs.SpanQuery, spans)
+	}
+	if root.Attr("id") != id {
+		t.Errorf("root id attr = %q, want %q", root.Attr("id"), id)
+	}
+	wantUnder := map[string]string{
+		obs.SpanSubmitQuery:  obs.SpanQuery,
+		obs.SpanProcess:      obs.SpanQuery,
+		obs.SpanFetchResults: obs.SpanQuery,
+		obs.SpanLookup:       obs.SpanProcess,
+		obs.SpanIndexGet:     obs.SpanLookup,
+		obs.SpanEval:         obs.SpanProcess,
+		obs.SpanResults:      obs.SpanProcess,
+	}
+	for name, parent := range wantUnder {
+		r, ok := byName[name]
+		if !ok {
+			t.Errorf("span %s missing from the tree", name)
+			continue
+		}
+		if got := byID[r.Parent].Name; got != parent {
+			t.Errorf("span %s nested under %q, want %q", name, got, parent)
+		}
+	}
+	if get := byName[obs.SpanIndexGet]; get.Calls() == 0 {
+		t.Errorf("%s span attributes no billed calls: %+v", obs.SpanIndexGet, get)
+	}
+	if root.Modeled <= 0 {
+		t.Errorf("root modeled duration = %v, want > 0", root.Modeled)
+	}
+
+	// Same corpus, same query, fresh warehouse: the modeled timings and
+	// billed ops of every span must reproduce exactly.
+	again, id2 := trace()
+	if id2 != id {
+		t.Fatalf("query IDs diverged: %s vs %s", id, id2)
+	}
+	if len(again) != len(spans) {
+		t.Fatalf("span counts diverged: %d vs %d", len(spans), len(again))
+	}
+	for i := range spans {
+		a, b := spans[i], again[i]
+		if a.Name != b.Name || a.Modeled != b.Modeled || a.Calls() != b.Calls() {
+			t.Errorf("span %d not reproducible: %s/%v/%d vs %s/%v/%d",
+				i, a.Name, a.Modeled, a.Calls(), b.Name, b.Modeled, b.Calls())
+		}
+	}
+
+	tree := obs.FormatTree(spans)
+	for _, want := range []string{obs.SpanQuery, obs.SpanProcess, obs.SpanLookup, "billed:"} {
+		if !strings.Contains(tree, want) {
+			t.Errorf("FormatTree output missing %q:\n%s", want, tree)
+		}
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"repro/internal/cloud/ec2"
 	"repro/internal/engine"
 	"repro/internal/index"
+	"repro/internal/obs"
 	"repro/internal/pattern"
 	"repro/internal/xmltree"
 	"repro/internal/xquery"
@@ -63,16 +64,39 @@ type QueryStats struct {
 
 	ResultRows  int
 	ResultBytes int64
+
+	// Lookup is the full look-up statistics of steps 10-12 (cache traffic,
+	// twig candidates, store retries); GetOps and LookupGetTime above are
+	// its headline numbers, kept for compatibility.
+	Lookup index.LookupStats
 }
 
 // processQuery executes one query message on one instance and returns the
 // result rows plus statistics. It performs the exact service calls of
 // Figure 1's steps 10-14; the modeled time is scheduled on the instance.
-func (w *Warehouse) processQuery(in *ec2.Instance, msg queryMessage) (*engine.Result, QueryStats, error) {
-	stats := QueryStats{ID: msg.ID, Strategy: msg.Strategy}
+// When tracing is on, the work is recorded as a "process" span under parent
+// (nil parent roots it), with lookup/eval/results children; parent may
+// always be nil, and every span operation degrades to a no-op when the
+// tracer is off.
+func (w *Warehouse) processQuery(in *ec2.Instance, msg queryMessage, parent *obs.Span) (res *engine.Result, stats QueryStats, err error) {
+	stats = QueryStats{ID: msg.ID, Strategy: msg.Strategy}
 	if msg.NoIndex {
 		stats.Strategy = "none"
 	}
+	sp := w.tracer.ChildOf(parent, obs.SpanProcess)
+	sp.SetAttr("id", msg.ID)
+	wallStart := time.Now()
+	defer func() {
+		if err != nil {
+			sp.SetError(err)
+			w.met.queryFailed.Inc()
+		} else {
+			w.met.queryProcessed.Inc()
+			w.met.queryResponse.Observe(time.Since(wallStart), stats.ResponseTime)
+		}
+		sp.SetModeled(stats.ResponseTime)
+		sp.End()
+	}()
 	q, err := ParseQueryText(msg.Query)
 	if err != nil {
 		return nil, stats, err
@@ -93,15 +117,28 @@ func (w *Warehouse) processQuery(in *ec2.Instance, msg queryMessage) (*engine.Re
 			perPattern[i] = uris
 		}
 	} else {
-		sets, lst, err := index.LookupQuery(w.store, w.Strategy, q, w.lookupOpts)
+		lsp := sp.Child(obs.SpanLookup)
+		lopts := w.lookupOpts
+		lopts.Span = lsp
+		sets, lst, err := index.LookupQuery(w.store, w.Strategy, q, lopts)
 		if err != nil {
+			lsp.SetError(err)
+			lsp.End()
 			return nil, stats, err
 		}
 		perPattern = sets
 		stats.GetOps = lst.GetOps
 		stats.LookupGetTime = lst.GetTime
 		stats.PlanTime = in.ComputeDuration(lst.BytesFetched, w.Perf.PlanBytesPerECUSec)
+		stats.Lookup = lst
 		in.RunOn(0, lst.GetTime+stats.PlanTime)
+		w.noteLookup(lst)
+		w.met.queryLookup.ObserveModeled(lst.GetTime)
+		w.met.queryPlan.ObserveModeled(stats.PlanTime)
+		lsp.SetModeled(lst.GetTime + stats.PlanTime)
+		lsp.SetAttrInt("get_ops", lst.GetOps)
+		lsp.SetAttrInt("bytes_fetched", lst.BytesFetched)
+		lsp.End()
 	}
 	for _, uris := range perPattern {
 		stats.DocIDsFromIndex += len(uris)
@@ -122,6 +159,8 @@ func (w *Warehouse) processQuery(in *ec2.Instance, msg queryMessage) (*engine.Re
 	}
 	sort.Strings(uris)
 	stats.DocsFetched = len(uris)
+	esp := sp.Child(obs.SpanEval)
+	esp.SetAttrInt("docs", int64(len(uris)))
 
 	// The real fetch + parse work fans out over a bounded worker pool with
 	// first-error-wins cancellation; the modeled time is then scheduled on
@@ -131,6 +170,8 @@ func (w *Warehouse) processQuery(in *ec2.Instance, msg queryMessage) (*engine.Re
 	docs := make(map[string]*xmltree.Document, len(uris))
 	for i, r := range fetched {
 		if r.err != nil {
+			esp.SetError(r.err)
+			esp.End()
 			return nil, stats, r.err
 		}
 		docs[uris[i]] = r.doc
@@ -143,6 +184,8 @@ func (w *Warehouse) processQuery(in *ec2.Instance, msg queryMessage) (*engine.Re
 	if ferr != nil {
 		// Unreachable in practice (a recorded error surfaces above), but
 		// never let a cancelled pool pass silently.
+		esp.SetError(ferr)
+		esp.End()
 		return nil, stats, ferr
 	}
 	docSets := make([][]*xmltree.Document, len(perPattern))
@@ -153,18 +196,30 @@ func (w *Warehouse) processQuery(in *ec2.Instance, msg queryMessage) (*engine.Re
 	}
 	result, err := engine.EvalQueryOnDocSets(q, docSets, w.docWorkers())
 	if err != nil {
+		esp.SetError(err)
+		esp.End()
 		return nil, stats, err
 	}
 	stats.ResultRows = len(result.Rows)
 	stats.ResultBytes = result.Bytes()
+	w.met.queryFetchEval.ObserveModeled(stats.FetchEvalTime)
+	esp.SetModeled(stats.FetchEvalTime)
+	esp.SetAttrInt("rows", int64(stats.ResultRows))
+	esp.End()
 
 	// Step 14: write the results to the file store.
+	rsp := sp.Child(obs.SpanResults)
 	key := resultsPrefix + msg.ID
 	putDur, err := w.files.Put(Bucket, key, encodeResult(result), nil)
 	if err != nil {
+		rsp.SetError(err)
+		rsp.End()
 		return nil, stats, err
 	}
 	in.RunOn(0, putDur)
+	rsp.SetModeled(putDur)
+	rsp.SetAttrInt("bytes", stats.ResultBytes)
+	rsp.End()
 
 	in.TL.Level()
 	stats.ResponseTime = in.TL.Elapsed() - t0
@@ -298,11 +353,21 @@ func decodeResult(data []byte) (*engine.Result, error) {
 // "no index" baseline of Section 8.
 func (w *Warehouse) RunQueryOn(in *ec2.Instance, queryText string, useIndex bool) (*engine.Result, QueryStats, error) {
 	id := w.nextQueryID()
+	root := w.tracer.Start(obs.SpanQuery)
+	root.SetAttr("id", id)
+	defer root.End()
 	msg := queryMessage{ID: id, Query: queryText, Strategy: w.Strategy.Name(), NoIndex: !useIndex}
 	body, _ := json.Marshal(msg)
-	if _, _, err := w.queues.Send(QueryQueue, string(body)); err != nil {
+	ssp := root.Child(obs.SpanSubmitQuery)
+	_, sendDur, err := w.queues.Send(QueryQueue, string(body))
+	ssp.SetModeled(sendDur)
+	ssp.SetError(err)
+	ssp.End()
+	if err != nil {
 		return nil, QueryStats{}, err
 	}
+	w.met.submitQueries.Inc()
+	root.AddModeled(sendDur)
 	got, rtt, err := w.queues.Receive(QueryQueue, 10*time.Minute)
 	if err != nil {
 		return nil, QueryStats{}, err
@@ -311,12 +376,14 @@ func (w *Warehouse) RunQueryOn(in *ec2.Instance, queryText string, useIndex bool
 		return nil, QueryStats{}, fmt.Errorf("core: query message vanished")
 	}
 	in.RunOn(0, rtt)
+	root.AddModeled(rtt)
 	var parsed queryMessage
 	if err := json.Unmarshal([]byte(got.Body), &parsed); err != nil {
 		return nil, QueryStats{}, err
 	}
 
-	_, stats, perr := w.processQuery(in, parsed)
+	_, stats, perr := w.processQuery(in, parsed, root)
+	root.AddModeled(stats.ResponseTime)
 	resp := responseMessage{ID: parsed.ID}
 	if perr != nil {
 		resp.Error = perr.Error()
@@ -331,32 +398,39 @@ func (w *Warehouse) RunQueryOn(in *ec2.Instance, queryText string, useIndex bool
 		return nil, stats, err
 	}
 	if perr != nil {
+		root.SetError(perr)
 		return nil, stats, fmt.Errorf("%w: %v", ErrQueryFailed, perr)
 	}
 
 	// Front-end side (steps 16-18).
-	rm, _, err := w.queues.Receive(ResponseQueue, time.Minute)
+	fsp := root.Child(obs.SpanFetchResults)
+	bail := func(err error) error { fsp.SetError(err); fsp.End(); return err }
+	rm, frtt, err := w.queues.Receive(ResponseQueue, time.Minute)
 	if err != nil {
-		return nil, stats, err
+		return nil, stats, bail(err)
 	}
 	if rm == nil {
-		return nil, stats, fmt.Errorf("core: response message missing")
+		return nil, stats, bail(fmt.Errorf("core: response message missing"))
 	}
 	var response responseMessage
 	if err := json.Unmarshal([]byte(rm.Body), &response); err != nil {
-		return nil, stats, err
+		return nil, stats, bail(err)
 	}
-	obj, _, err := w.files.Get(Bucket, response.ResultKey)
+	obj, getDur, err := w.files.Get(Bucket, response.ResultKey)
 	if err != nil {
-		return nil, stats, err
+		return nil, stats, bail(err)
 	}
 	w.ledger.AddEgress(int64(len(obj.Data)))
 	if _, err := w.queues.Delete(ResponseQueue, rm.Receipt); err != nil {
-		return nil, stats, err
+		return nil, stats, bail(err)
 	}
 	final, err := decodeResult(obj.Data)
 	if err != nil {
-		return nil, stats, err
+		return nil, stats, bail(err)
 	}
+	fsp.SetModeled(frtt + getDur)
+	fsp.SetAttrInt("bytes", int64(len(obj.Data)))
+	fsp.End()
+	root.AddModeled(frtt + getDur)
 	return final, stats, nil
 }

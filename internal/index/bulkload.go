@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/cloud/kv"
+	"repro/internal/obs"
 )
 
 // This file implements the cross-document bulk loader. WriteExtraction
@@ -31,6 +32,10 @@ type BulkOptions struct {
 	// flush. Zero selects the store's Limits().BatchPutItems; values above
 	// that limit are clamped to it (a single request cannot carry more).
 	FlushItems int
+	// Obs, when non-nil, receives the loader's flush metrics
+	// (index.bulk.flushes / items / bytes counters and the index.bulk.flush
+	// modeled-latency histogram). Nil disables them at zero cost.
+	Obs *obs.Registry
 }
 
 // DocLoad is the completed outcome of one document's bulk load, released by
@@ -77,6 +82,13 @@ type BulkLoader struct {
 	fifo    []*bulkDoc               // docs in Add order, not yet released
 	total   LoadStats
 	closed  bool
+
+	// Flush instruments, resolved once at construction (nil-safe no-ops
+	// when BulkOptions.Obs is nil).
+	metFlushes *obs.Counter
+	metItems   *obs.Counter
+	metBytes   *obs.Counter
+	metFlush   *obs.Histogram
 }
 
 // NewBulkLoader returns a loader writing to store. Caches fronting the
@@ -103,6 +115,10 @@ func NewBulkLoader(store kv.Store, opts BulkOptions, caches ...*PostingCache) *B
 		flushItems: flush,
 		itemBudget: itemBudgetFor(lim),
 		buffers:    make(map[string][]pendingItem),
+		metFlushes: opts.Obs.Counter("index.bulk.flushes"),
+		metItems:   opts.Obs.Counter("index.bulk.items"),
+		metBytes:   opts.Obs.Counter("index.bulk.bytes"),
+		metFlush:   opts.Obs.Histogram("index.bulk.flush"),
 	}
 }
 
@@ -209,6 +225,10 @@ func (b *BulkLoader) flushTable(table string) error {
 	b.total.Requests++
 	b.total.Items += n
 	b.total.Bytes += bytes
+	b.metFlushes.Inc()
+	b.metItems.Add(int64(n))
+	b.metBytes.Add(bytes)
+	b.metFlush.ObserveModeled(d)
 	// The batch's one API call is charged to the first contributor; its
 	// duration is split pro-rata by payload bytes. The telescoping-sum form
 	// (share_i = d·cum_i/bytes − d·cum_{i−1}/bytes) makes integer-duration

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/cloud/kv"
+	"repro/internal/obs"
 	"repro/internal/pattern"
 	"repro/internal/twigjoin"
 	"repro/internal/xmltree"
@@ -89,6 +90,11 @@ type LookupOptions struct {
 	// fetched postings. The same cache must not front two different
 	// stores.
 	Cache *PostingCache
+	// Span, when non-nil, is the parent under which the look-up emits its
+	// pipeline spans (index.get, semijoin, twigjoin). A nil Span — the
+	// default, and always the case when tracing is off — makes every span
+	// operation a no-op.
+	Span *obs.Span
 }
 
 // resolveLookup flattens the optional trailing options of the exported
@@ -138,7 +144,16 @@ func LookupPattern(store kv.Store, s Strategy, t *pattern.Tree, opts ...LookupOp
 	case LUI:
 		return lookupLUI(store, s.idTableName(), aug, nil, opt)
 	case TwoLUPI:
-		uris, st1, err := lookupLUP(store, s.pathTableName(), aug, opt)
+		// The LUP phase computes R1, the reduction set of Figure 5's
+		// LUP⋉LUI semijoin; its index reads nest under the semijoin span.
+		sj := opt.Span.Child(obs.SpanSemijoin)
+		lupOpt := opt
+		lupOpt.Span = sj
+		uris, st1, err := lookupLUP(store, s.pathTableName(), aug, lupOpt)
+		sj.SetModeled(st1.GetTime)
+		sj.SetAttrInt("reduce_uris", int64(len(uris)))
+		sj.SetError(err)
+		sj.End()
 		if err != nil {
 			return nil, st1, err
 		}
@@ -238,11 +253,27 @@ func (a *augmented) queryPaths() [][]QueryStep {
 	return out
 }
 
+// readKeysSpanned is ReadKeys wrapped in an index.get span (a no-op chain
+// when opt.Span is nil): the raw store reads of one look-up phase, with the
+// billed get count, bytes and modeled store latency annotated.
+func readKeysSpanned(store kv.Store, table string, keys []string, kind PostingKind, binaryIDs bool, opt LookupOptions) (map[string]map[string]*Posting, ReadStats, error) {
+	get := opt.Span.Child(obs.SpanIndexGet)
+	get.SetAttr("table", table)
+	get.SetAttrInt("keys", int64(len(keys)))
+	postings, rs, err := ReadKeys(store, table, keys, kind, binaryIDs, opt)
+	get.SetModeled(rs.GetTime)
+	get.SetAttrInt("get_ops", rs.GetOps)
+	get.SetAttrInt("bytes", rs.Bytes)
+	get.SetError(err)
+	get.End()
+	return postings, rs, err
+}
+
 // lookupLU implements Section 5.1: look up every key extracted from the
 // query and intersect the URI sets.
 func lookupLU(store kv.Store, table string, aug *augmented, opt LookupOptions) ([]string, LookupStats, error) {
 	keys := aug.distinctKeys()
-	postings, rs, err := ReadKeys(store, table, keys, URIPosting, false, opt)
+	postings, rs, err := readKeysSpanned(store, table, keys, URIPosting, false, opt)
 	if err != nil {
 		return nil, LookupStats{}, err
 	}
@@ -268,7 +299,7 @@ func lookupLUP(store kv.Store, table string, aug *augmented, opt LookupOptions) 
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
-	postings, rs, err := ReadKeys(store, table, keys, PathPosting, false, opt)
+	postings, rs, err := readKeysSpanned(store, table, keys, PathPosting, false, opt)
 	if err != nil {
 		return nil, LookupStats{}, err
 	}
@@ -297,7 +328,7 @@ func lookupLUP(store kv.Store, table string, aug *augmented, opt LookupOptions) 
 // considered — the semijoin with the LUP result R1.
 func lookupLUI(store kv.Store, table string, aug *augmented, reduce map[string]bool, opt LookupOptions) ([]string, LookupStats, error) {
 	keys := aug.distinctKeys()
-	postings, rs, err := ReadKeys(store, table, keys, IDPosting, store.Limits().SupportsBinary, opt)
+	postings, rs, err := readKeysSpanned(store, table, keys, IDPosting, store.Limits().SupportsBinary, opt)
 	if err != nil {
 		return nil, LookupStats{}, err
 	}
@@ -323,6 +354,8 @@ func lookupLUI(store kv.Store, table string, aug *augmented, reduce map[string]b
 		}
 	}
 	stats.TwigCandidates = len(candidates)
+	tj := opt.Span.Child(obs.SpanTwigJoin)
+	tj.SetAttrInt("candidates", int64(len(candidates)))
 
 	// The per-candidate holistic twig joins are independent CPU work over
 	// read-only postings; fan them out across the worker pool. Candidates
@@ -376,6 +409,8 @@ func lookupLUI(store kv.Store, table string, aug *augmented, reduce map[string]b
 			out = append(out, uri)
 		}
 	}
+	tj.SetAttrInt("matched", int64(len(out)))
+	tj.End()
 	return out, stats, nil
 }
 

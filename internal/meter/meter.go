@@ -57,17 +57,29 @@ type Usage struct {
 
 // Ledger accumulates resource consumption. It is safe for concurrent use.
 // The zero value is not usable; use NewLedger.
+//
+// Internally the ledger keeps dense parallel tables (an op registry plus a
+// counts slice) rather than maps: the set of distinct operations is tiny
+// and append-only, and the dense layout lets Compact produce a
+// point-in-time reading with two slice copies — cheap enough to take twice
+// per tracing span on the query hot path.
 type Ledger struct {
-	mu sync.Mutex
-	u  Usage
+	mu        sync.Mutex
+	opIdx     map[Op]int
+	ops       []Op
+	counts    []Counts
+	instIdx   map[string]int
+	instTypes []string
+	instSecs  []float64
+	egress    int64
 }
 
 // NewLedger returns an empty ledger.
 func NewLedger() *Ledger {
-	return &Ledger{u: Usage{
-		ops:             make(map[Op]Counts),
-		instanceSeconds: make(map[string]float64),
-	}}
+	return &Ledger{
+		opIdx:   make(map[Op]int),
+		instIdx: make(map[string]int),
+	}
 }
 
 // Record adds one metered operation to the ledger.
@@ -75,7 +87,14 @@ func (l *Ledger) Record(service, op string, calls, units, bytes int64) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	k := Op{service, op}
-	l.u.ops[k] = l.u.ops[k].add(Counts{calls, units, bytes})
+	i, ok := l.opIdx[k]
+	if !ok {
+		i = len(l.ops)
+		l.opIdx[k] = i
+		l.ops = append(l.ops, k)
+		l.counts = append(l.counts, Counts{})
+	}
+	l.counts[i] = l.counts[i].add(Counts{calls, units, bytes})
 }
 
 // AddInstanceSeconds bills modeled busy time of a virtual machine of the
@@ -83,31 +102,188 @@ func (l *Ledger) Record(service, op string, calls, units, bytes int64) {
 func (l *Ledger) AddInstanceSeconds(instanceType string, seconds float64) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	l.u.instanceSeconds[instanceType] += seconds
+	i, ok := l.instIdx[instanceType]
+	if !ok {
+		i = len(l.instTypes)
+		l.instIdx[instanceType] = i
+		l.instTypes = append(l.instTypes, instanceType)
+		l.instSecs = append(l.instSecs, 0)
+	}
+	l.instSecs[i] += seconds
 }
 
 // AddEgress records bytes transferred out of the cloud.
 func (l *Ledger) AddEgress(bytes int64) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	l.u.egressBytes += bytes
+	l.egress += bytes
 }
 
 // Snapshot returns a copy of the current usage.
 func (l *Ledger) Snapshot() Usage {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return l.u.clone()
+	u := Usage{
+		ops:             make(map[Op]Counts, len(l.ops)),
+		instanceSeconds: make(map[string]float64, len(l.instTypes)),
+		egressBytes:     l.egress,
+	}
+	for i, k := range l.ops {
+		u.ops[k] = l.counts[i]
+	}
+	for i, t := range l.instTypes {
+		u.instanceSeconds[t] = l.instSecs[i]
+	}
+	return u
 }
 
 // Reset clears the ledger.
 func (l *Ledger) Reset() {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	l.u = Usage{
-		ops:             make(map[Op]Counts),
-		instanceSeconds: make(map[string]float64),
+	l.opIdx = make(map[Op]int)
+	l.ops, l.counts = nil, nil
+	l.instIdx = make(map[string]int)
+	l.instTypes, l.instSecs = nil, nil
+	l.egress = 0
+}
+
+// Compact is a cheap point-in-time reading of a Ledger, made for
+// high-frequency before/after diffs (the obs tracer takes two per span).
+// It copies the small dense tables instead of building maps; the op and
+// instance-type name slices are shared immutable prefixes of the ledger's
+// internal registries (the first n entries never change once written, so
+// sharing them is safe even as the ledger keeps appending).
+type Compact struct {
+	ops       []Op
+	counts    []Counts
+	instTypes []string
+	instSecs  []float64
+	egress    int64
+}
+
+// Compact returns the current reading.
+func (l *Ledger) Compact() Compact {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return Compact{
+		ops:       l.ops[:len(l.ops):len(l.ops)],
+		counts:    append([]Counts(nil), l.counts...),
+		instTypes: l.instTypes[:len(l.instTypes):len(l.instTypes)],
+		instSecs:  append([]float64(nil), l.instSecs...),
+		egress:    l.egress,
 	}
+}
+
+// CompactInto is Compact reusing prev's backing arrays when they are large
+// enough, for callers that take readings in a loop (the obs tracer recycles
+// them through a pool).
+func (l *Ledger) CompactInto(prev Compact) Compact {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return Compact{
+		ops:       l.ops[:len(l.ops):len(l.ops)],
+		counts:    append(prev.counts[:0], l.counts...),
+		instTypes: l.instTypes[:len(l.instTypes):len(l.instTypes)],
+		instSecs:  append(prev.instSecs[:0], l.instSecs...),
+		egress:    l.egress,
+	}
+}
+
+// SubSince diffs the ledger's live state against an earlier compact
+// reading, like Compact().Sub(prev) without materialising the second
+// reading.
+func (l *Ledger) SubSince(prev Compact) (ops []OpDelta, inst []TypeSeconds, egress int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for i, ct := range l.counts {
+		var p Counts
+		if i < len(prev.counts) {
+			p = prev.counts[i]
+		}
+		if d := ct.sub(p); d != (Counts{}) {
+			if ops == nil {
+				ops = make([]OpDelta, 0, len(l.counts)-i)
+			}
+			ops = append(ops, OpDelta{l.ops[i], d})
+		}
+	}
+	for i, s := range l.instSecs {
+		var p float64
+		if i < len(prev.instSecs) {
+			p = prev.instSecs[i]
+		}
+		if d := s - p; d != 0 {
+			if inst == nil {
+				inst = make([]TypeSeconds, 0, len(l.instSecs)-i)
+			}
+			inst = append(inst, TypeSeconds{l.instTypes[i], d})
+		}
+	}
+	return ops, inst, l.egress - prev.egress
+}
+
+// OpDelta is one operation's activity between two compact readings.
+type OpDelta struct {
+	Op     Op
+	Counts Counts
+}
+
+// TypeSeconds is one instance type's billed busy time between two compact
+// readings.
+type TypeSeconds struct {
+	Type    string
+	Seconds float64
+}
+
+// Sub returns the activity between prev (the earlier reading, possibly of
+// a shorter table) and c: the non-zero op deltas in first-recorded order,
+// the non-zero per-type instance seconds, and the egress delta. Both
+// readings must come from the same ledger.
+func (c Compact) Sub(prev Compact) (ops []OpDelta, inst []TypeSeconds, egress int64) {
+	for i, ct := range c.counts {
+		var p Counts
+		if i < len(prev.counts) {
+			p = prev.counts[i]
+		}
+		if d := ct.sub(p); d != (Counts{}) {
+			if ops == nil {
+				ops = make([]OpDelta, 0, len(c.counts)-i)
+			}
+			ops = append(ops, OpDelta{c.ops[i], d})
+		}
+	}
+	for i, s := range c.instSecs {
+		var p float64
+		if i < len(prev.instSecs) {
+			p = prev.instSecs[i]
+		}
+		if d := s - p; d != 0 {
+			if inst == nil {
+				inst = make([]TypeSeconds, 0, len(c.instSecs)-i)
+			}
+			inst = append(inst, TypeSeconds{c.instTypes[i], d})
+		}
+	}
+	return ops, inst, c.egress - prev.egress
+}
+
+// NewUsage assembles a Usage from explicit components — the inverse of a
+// recorded diff (the obs span journal rehydrates billed usage this way,
+// e.g. to price a span with pricing.PriceBook.Bill).
+func NewUsage(ops map[Op]Counts, instanceSeconds map[string]float64, egressBytes int64) Usage {
+	u := Usage{
+		ops:             make(map[Op]Counts, len(ops)),
+		instanceSeconds: make(map[string]float64, len(instanceSeconds)),
+		egressBytes:     egressBytes,
+	}
+	for k, v := range ops {
+		u.ops[k] = v
+	}
+	for k, v := range instanceSeconds {
+		u.instanceSeconds[k] = v
+	}
+	return u
 }
 
 func (u Usage) clone() Usage {

@@ -152,6 +152,161 @@ func TestConcurrentRecording(t *testing.T) {
 	}
 }
 
+func TestCompactSub(t *testing.T) {
+	l := NewLedger()
+	l.Record("s3", "get", 1, 1, 10)
+	l.AddInstanceSeconds("l", 5)
+	before := l.Compact()
+	l.Record("s3", "get", 4, 4, 40)
+	l.Record("sqs", "send", 1, 1, 1)
+	l.AddInstanceSeconds("l", 7)
+	l.AddInstanceSeconds("xl", 2)
+	l.AddEgress(100)
+
+	ops, inst, egress := l.Compact().Sub(before)
+	want := []OpDelta{
+		{Op{"s3", "get"}, Counts{4, 4, 40}},
+		{Op{"sqs", "send"}, Counts{1, 1, 1}},
+	}
+	if len(ops) != len(want) {
+		t.Fatalf("ops = %+v, want %+v", ops, want)
+	}
+	for i := range want {
+		if ops[i] != want[i] {
+			t.Errorf("ops[%d] = %+v, want %+v", i, ops[i], want[i])
+		}
+	}
+	wantInst := []TypeSeconds{{"l", 7}, {"xl", 2}}
+	if len(inst) != len(wantInst) {
+		t.Fatalf("inst = %+v, want %+v", inst, wantInst)
+	}
+	for i := range wantInst {
+		if inst[i] != wantInst[i] {
+			t.Errorf("inst[%d] = %+v, want %+v", i, inst[i], wantInst[i])
+		}
+	}
+	if egress != 100 {
+		t.Errorf("egress = %d, want 100", egress)
+	}
+
+	// SubSince diffs the live state and must agree with the two-reading form.
+	ops2, inst2, egress2 := l.SubSince(before)
+	if len(ops2) != len(ops) || len(inst2) != len(inst) || egress2 != egress {
+		t.Fatalf("SubSince = (%+v, %+v, %d), want (%+v, %+v, %d)", ops2, inst2, egress2, ops, inst, egress)
+	}
+	for i := range ops {
+		if ops2[i] != ops[i] {
+			t.Errorf("SubSince ops[%d] = %+v, want %+v", i, ops2[i], ops[i])
+		}
+	}
+}
+
+func TestCompactIntoReuses(t *testing.T) {
+	l := NewLedger()
+	l.Record("s3", "get", 1, 1, 10)
+	l.AddInstanceSeconds("l", 1)
+	scratch := l.Compact()
+	l.Record("s3", "put", 2, 2, 20)
+	c := l.CompactInto(scratch)
+	ops, _, _ := l.Compact().Sub(Compact{})
+	got, _, _ := c.Sub(Compact{})
+	if len(got) != len(ops) {
+		t.Fatalf("CompactInto reading has %d ops, want %d", len(got), len(ops))
+	}
+	for i := range ops {
+		if got[i] != ops[i] {
+			t.Errorf("ops[%d] = %+v, want %+v", i, got[i], ops[i])
+		}
+	}
+}
+
+func TestNewUsageRoundTrip(t *testing.T) {
+	u := NewUsage(
+		map[Op]Counts{{"dynamodb", "get"}: {3, 3, 300}},
+		map[string]float64{"xl": 4.5},
+		77,
+	)
+	if got := u.Get("dynamodb", "get"); got != (Counts{3, 3, 300}) {
+		t.Errorf("Get = %+v", got)
+	}
+	if got := u.InstanceSeconds("xl"); got != 4.5 {
+		t.Errorf("InstanceSeconds = %v, want 4.5", got)
+	}
+	if got := u.EgressBytes(); got != 77 {
+		t.Errorf("EgressBytes = %d, want 77", got)
+	}
+}
+
+// Readers (Snapshot, Compact, SubSince) racing writers must neither trip
+// the race detector nor observe torn counts: every reading of dynamodb.get
+// keeps Calls == Units and Bytes == 2*Calls.
+func TestConcurrentReadersAndWriters(t *testing.T) {
+	l := NewLedger()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 400; j++ {
+				l.Record("dynamodb", "get", 1, 1, 2)
+				l.Record("s3", "put", 1, 1, 1)
+				l.AddInstanceSeconds("l", 0.001)
+				l.AddEgress(1)
+			}
+		}(i)
+	}
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			base := l.Compact()
+			for j := 0; j < 200; j++ {
+				if c := l.Snapshot().Get("dynamodb", "get"); c.Calls != c.Units || c.Bytes != 2*c.Calls {
+					t.Errorf("torn snapshot: %+v", c)
+					return
+				}
+				ops, _, _ := l.SubSince(base)
+				for _, d := range ops {
+					if d.Op == (Op{"dynamodb", "get"}) && (d.Counts.Calls != d.Counts.Units || d.Counts.Bytes != 2*d.Counts.Calls) {
+						t.Errorf("torn delta: %+v", d)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := l.Snapshot().Get("dynamodb", "get"); got != (Counts{1600, 1600, 3200}) {
+		t.Errorf("final counts = %+v", got)
+	}
+}
+
+// String renders ops sorted by service then name, independent of the order
+// they were recorded in — two ledgers with the same totals must print
+// byte-identical reports.
+func TestStringStableOrder(t *testing.T) {
+	a, b := NewLedger(), NewLedger()
+	recs := [][3]string{{"sqs", "send"}, {"dynamodb", "put"}, {"s3", "get"}, {"dynamodb", "get"}}
+	for _, r := range recs {
+		a.Record(r[0], r[1], 1, 1, 1)
+	}
+	for i := len(recs) - 1; i >= 0; i-- {
+		b.Record(recs[i][0], recs[i][1], 1, 1, 1)
+	}
+	a.AddInstanceSeconds("xl", 1)
+	a.AddInstanceSeconds("l", 2)
+	b.AddInstanceSeconds("l", 2)
+	b.AddInstanceSeconds("xl", 1)
+	sa, sb := a.Snapshot().String(), b.Snapshot().String()
+	if sa != sb {
+		t.Errorf("String depends on recording order:\n%s\nvs\n%s", sa, sb)
+	}
+	idx := strings.Index
+	if !(idx(sa, "dynamodb.get") < idx(sa, "dynamodb.put") && idx(sa, "dynamodb.put") < idx(sa, "s3.get") && idx(sa, "s3.get") < idx(sa, "sqs.send")) {
+		t.Errorf("ops not sorted by service then name:\n%s", sa)
+	}
+}
+
 // Property: Sub is the inverse of Add on op counts.
 func TestAddSubRoundTrip(t *testing.T) {
 	f := func(calls1, calls2 uint16, bytes1, bytes2 uint32) bool {

@@ -1,0 +1,304 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// promName converts a registry metric name to a Prometheus-compatible one:
+// an "xwh_" namespace prefix, dots to underscores.
+func promName(name string) string {
+	return "xwh_" + strings.ReplaceAll(name, ".", "_")
+}
+
+// WriteProm renders the registry in the Prometheus text exposition format
+// (version 0.0.4). Counters get a `_total` suffix; each histogram emits two
+// families, `<name>_wall_seconds` and `<name>_modeled_seconds`, with the
+// usual `_bucket{le=...}`, `_sum` and `_count` series.
+func WriteProm(w io.Writer, r *Registry) error {
+	if r == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	for _, name := range r.CounterNames() {
+		pn := promName(name) + "_total"
+		fmt.Fprintf(bw, "# TYPE %s counter\n", pn)
+		fmt.Fprintf(bw, "%s %d\n", pn, r.Counter(name).Value())
+	}
+	for _, name := range r.GaugeNames() {
+		pn := promName(name)
+		fmt.Fprintf(bw, "# TYPE %s gauge\n", pn)
+		fmt.Fprintf(bw, "%s %d\n", pn, r.Gauge(name).Value())
+	}
+	for _, name := range r.HistogramNames() {
+		h := r.Histogram(name)
+		writePromHist(bw, promName(name)+"_wall_seconds", h.Wall())
+		writePromHist(bw, promName(name)+"_modeled_seconds", h.Modeled())
+	}
+	return bw.Flush()
+}
+
+func writePromHist(w io.Writer, pn string, s HistSnapshot) {
+	fmt.Fprintf(w, "# TYPE %s histogram\n", pn)
+	var cum int64
+	for i, bound := range s.Bounds {
+		cum += s.Counts[i]
+		fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n", pn,
+			strconv.FormatFloat(bound.Seconds(), 'g', -1, 64), cum)
+	}
+	if n := len(s.Counts); n > 0 {
+		cum += s.Counts[n-1]
+	}
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", pn, cum)
+	fmt.Fprintf(w, "%s_sum %s\n", pn, strconv.FormatFloat(s.Sum.Seconds(), 'g', -1, 64))
+	fmt.Fprintf(w, "%s_count %d\n", pn, s.Count)
+}
+
+// jsonHist is the JSON shape of one histogram side.
+type jsonHist struct {
+	BoundsNS []int64 `json:"bounds_ns"`
+	Counts   []int64 `json:"counts"`
+	Count    int64   `json:"count"`
+	SumNS    int64   `json:"sum_ns"`
+}
+
+func toJSONHist(s HistSnapshot) jsonHist {
+	bounds := make([]int64, len(s.Bounds))
+	for i, b := range s.Bounds {
+		bounds[i] = int64(b)
+	}
+	return jsonHist{BoundsNS: bounds, Counts: s.Counts, Count: s.Count, SumNS: int64(s.Sum)}
+}
+
+// WriteJSON renders the registry as one JSON object with "counters",
+// "gauges" and "histograms" sections.
+func WriteJSON(w io.Writer, r *Registry) error {
+	doc := struct {
+		Counters   map[string]int64 `json:"counters"`
+		Gauges     map[string]int64 `json:"gauges"`
+		Histograms map[string]struct {
+			Wall    jsonHist `json:"wall"`
+			Modeled jsonHist `json:"modeled"`
+		} `json:"histograms"`
+	}{
+		Counters: map[string]int64{},
+		Gauges:   map[string]int64{},
+		Histograms: map[string]struct {
+			Wall    jsonHist `json:"wall"`
+			Modeled jsonHist `json:"modeled"`
+		}{},
+	}
+	if r != nil {
+		for _, name := range r.CounterNames() {
+			doc.Counters[name] = r.Counter(name).Value()
+		}
+		for _, name := range r.GaugeNames() {
+			doc.Gauges[name] = r.Gauge(name).Value()
+		}
+		for _, name := range r.HistogramNames() {
+			h := r.Histogram(name)
+			doc.Histograms[name] = struct {
+				Wall    jsonHist `json:"wall"`
+				Modeled jsonHist `json:"modeled"`
+			}{toJSONHist(h.Wall()), toJSONHist(h.Modeled())}
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// WriteText renders the registry as a human-readable report, the format
+// `xwh stats` prints: counters and gauges as aligned name/value lines,
+// histograms as count/mean/p50/p99 summaries of both clock sides.
+func WriteText(w io.Writer, r *Registry) error {
+	if r == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	if names := r.CounterNames(); len(names) > 0 {
+		fmt.Fprintln(bw, "counters:")
+		for _, name := range names {
+			fmt.Fprintf(bw, "  %-40s %d\n", name, r.Counter(name).Value())
+		}
+	}
+	if names := r.GaugeNames(); len(names) > 0 {
+		fmt.Fprintln(bw, "gauges:")
+		for _, name := range names {
+			fmt.Fprintf(bw, "  %-40s %d\n", name, r.Gauge(name).Value())
+		}
+	}
+	if names := r.HistogramNames(); len(names) > 0 {
+		fmt.Fprintln(bw, "histograms (count / mean / p50 / p99):")
+		for _, name := range names {
+			h := r.Histogram(name)
+			for _, side := range []struct {
+				label string
+				s     HistSnapshot
+			}{{"modeled", h.Modeled()}, {"wall", h.Wall()}} {
+				if side.s.Count == 0 {
+					continue
+				}
+				fmt.Fprintf(bw, "  %-40s %6d  %10s  %10s  %10s\n",
+					name+"."+side.label, side.s.Count,
+					side.s.Mean().Round(time.Microsecond),
+					side.s.Quantile(0.50).Round(time.Microsecond),
+					side.s.Quantile(0.99).Round(time.Microsecond))
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// PromSample is one parsed sample line of a Prometheus text exposition.
+type PromSample struct {
+	Name   string
+	Labels string // raw label block, braces stripped; "" when absent
+	Value  float64
+}
+
+// ParseProm is a minimal validator/parser for the Prometheus text format:
+// it accepts comment and blank lines, requires every other line to be
+// `name[{labels}] value`, and returns the parsed samples. It exists so the
+// obs-smoke target can assert the exporter's output is well-formed without
+// a Prometheus dependency.
+func ParseProm(rd io.Reader) ([]PromSample, error) {
+	var out []PromSample
+	sc := bufio.NewScanner(rd)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		// Split the metric part from the value at the last space, so label
+		// values containing spaces would still parse.
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			return nil, fmt.Errorf("obs: prom line %d: no value: %q", lineNo, line)
+		}
+		metric, valStr := strings.TrimSpace(line[:i]), line[i+1:]
+		v, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			return nil, fmt.Errorf("obs: prom line %d: bad value %q: %v", lineNo, valStr, err)
+		}
+		name, labels := metric, ""
+		if j := strings.IndexByte(metric, '{'); j >= 0 {
+			if !strings.HasSuffix(metric, "}") {
+				return nil, fmt.Errorf("obs: prom line %d: unclosed label block: %q", lineNo, line)
+			}
+			name, labels = metric[:j], metric[j+1:len(metric)-1]
+		}
+		if name == "" {
+			return nil, fmt.Errorf("obs: prom line %d: empty metric name: %q", lineNo, line)
+		}
+		for _, r := range name {
+			if !(r == '_' || r == ':' ||
+				(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (r >= '0' && r <= '9')) {
+				return nil, fmt.Errorf("obs: prom line %d: invalid metric name %q", lineNo, name)
+			}
+		}
+		out = append(out, PromSample{Name: name, Labels: labels, Value: v})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Handler serves the registry and tracer over HTTP:
+//
+//	/metrics       Prometheus text format
+//	/metrics.json  JSON registry dump
+//	/trace.json    span journal, oldest first
+//
+// tr may be nil, in which case /trace.json serves an empty array.
+func Handler(r *Registry, tr *Tracer) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = WriteProm(w, r)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = WriteJSON(w, r)
+	})
+	mux.HandleFunc("/trace.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = tr.WriteJSON(w)
+	})
+	return mux
+}
+
+// StageOrder sorts span/stage names into the canonical Figure 1 pipeline
+// order (write side first, then read side); unknown names sort after known
+// ones, alphabetically. Used by the benchall per-stage table and tests.
+func StageOrder(names []string) {
+	rank := map[string]int{
+		SpanSubmitDocument: 0,
+		SpanIndexDoc:       1,
+		SpanLease:          2,
+		SpanExtract:        3,
+		SpanUpload:         4,
+		SpanQuery:          5,
+		SpanSubmitQuery:    6,
+		SpanProcess:        7,
+		SpanLookup:         8,
+		SpanIndexGet:       9,
+		SpanSemijoin:       10,
+		SpanTwigJoin:       11,
+		SpanEval:           12,
+		SpanResults:        13,
+		SpanFetchResults:   14,
+	}
+	sort.SliceStable(names, func(i, j int) bool {
+		ri, iok := rank[names[i]]
+		rj, jok := rank[names[j]]
+		switch {
+		case iok && jok:
+			return ri < rj
+		case iok:
+			return true
+		case jok:
+			return false
+		default:
+			return names[i] < names[j]
+		}
+	})
+}
+
+// Span names of the Figure 1 pipeline stages. Write side: a document is
+// submitted (steps 1-3), then a worker leases its loader message, extracts
+// the index entries and uploads them (steps 4-7; "upload" covers both the
+// per-document path and a bulk loader flush share). Read side: a query is
+// submitted (steps 8-9), processed (10-14: index lookup — itself split
+// into raw gets, the LUP⋉LUI semijoin and the twig join — then
+// per-document eval and the results write), and its results fetched
+// (steps 15-18).
+const (
+	SpanSubmitDocument = "submit.document"
+	SpanIndexDoc       = "index.doc"
+	SpanLease          = "lease"
+	SpanExtract        = "extract"
+	SpanUpload         = "upload"
+
+	SpanQuery        = "query"
+	SpanSubmitQuery  = "submit.query"
+	SpanProcess      = "process"
+	SpanLookup       = "lookup"
+	SpanIndexGet     = "index.get"
+	SpanSemijoin     = "semijoin"
+	SpanTwigJoin     = "twigjoin"
+	SpanEval         = "eval"
+	SpanResults      = "results"
+	SpanFetchResults = "fetch.results"
+)
