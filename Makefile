@@ -1,6 +1,11 @@
 GO ?= go
+FUZZTIME ?= 20s
+# COVER_MIN gates `make coverage`: total statement coverage must not drop
+# below this floor (measured baseline is 81.8%; the floor sits a little
+# under it so unrelated churn doesn't flake the gate).
+COVER_MIN ?= 80.0
 
-.PHONY: build test race vet fmt bench benchsmoke obs-smoke check
+.PHONY: build test race vet fmt bench benchsmoke obs-smoke check fuzzsmoke coverage
 
 build:
 	$(GO) build ./...
@@ -37,3 +42,23 @@ benchsmoke:
 # exporter once over HTTP and verifies the payload parses.
 obs-smoke:
 	$(GO) run ./cmd/xwh -corpus paintings -query '//painting[/name{val}]' -obs-smoke
+
+# fuzzsmoke runs every native fuzz target for FUZZTIME of live mutation on
+# top of the checked-in seed corpora. `go test -fuzz` accepts only one
+# matching target per invocation, so discover and loop.
+fuzzsmoke:
+	@for pkg in ./internal/index ./internal/pattern; do \
+		for target in $$($(GO) test -list '^Fuzz' $$pkg | grep '^Fuzz'); do \
+			echo "fuzz $$pkg $$target"; \
+			$(GO) test $$pkg -run="^$$target$$" -fuzz="^$$target$$" -fuzztime=$(FUZZTIME) || exit 1; \
+		done; \
+	done
+
+# coverage measures total statement coverage across all packages and fails
+# if it drops below COVER_MIN.
+coverage:
+	$(GO) test -coverprofile=coverage.out -coverpkg=./... ./...
+	@total=$$($(GO) tool cover -func=coverage.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+	echo "total coverage: $$total% (floor $(COVER_MIN)%)"; \
+	awk -v t="$$total" -v m="$(COVER_MIN)" 'BEGIN { exit (t+0 >= m+0) ? 0 : 1 }' || \
+		{ echo "coverage $$total% fell below the $(COVER_MIN)% floor"; exit 1; }

@@ -7,7 +7,8 @@
 //	         [-exp table4,fig7,...|all] [-repeats N]
 //
 // Experiments: table4, fig7, fig8, table5, fig9, fig9detail, fig10,
-// table6, fig11, fig12, fig13, table7, table8, ablations, advisor, obs.
+// table6, fig11, fig12, fig13, table7, table8, ablations, advisor, obs,
+// shard.
 package main
 
 import (
@@ -148,6 +149,11 @@ func main() {
 		rows, _, err := bench.RunObs(corpus)
 		check(err)
 		fmt.Println(bench.ObsTable(rows))
+	}
+	if sel("shard") {
+		rows, err := bench.RunShard(corpus)
+		check(err)
+		fmt.Println(bench.ShardTable(rows))
 	}
 	if sel("advisor") {
 		out, err := bench.RunAdvisorAccuracy(env, 2)

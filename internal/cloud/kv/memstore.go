@@ -301,6 +301,78 @@ func (s *MemStore) BatchGet(tbl string, hashKeys []string) (map[string][]Item, t
 	return out, d, nil
 }
 
+// BatchPutMulti implements MultiStore: every group lands in one request,
+// the way DynamoDB's BatchWriteItem spans tables. The combined payload is
+// metered and latency-modeled exactly like a single-table batch of the same
+// items, so a sharding layer splitting one logical batch across partitions
+// costs precisely what the unsharded batch would. The single-batch item
+// limit applies to the total across groups.
+func (s *MemStore) BatchPutMulti(groups []TableItems) (time.Duration, error) {
+	var total int
+	for _, g := range groups {
+		total += len(g.Items)
+	}
+	if lim := s.cfg.Limits.BatchPutItems; lim > 0 && total > lim {
+		return 0, fmt.Errorf("%w: %d items > %d", ErrBatchTooLarge, total, lim)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var bytes int64
+	for _, g := range groups {
+		if _, ok := s.tables[g.Table]; !ok {
+			return 0, fmt.Errorf("%w: %q", ErrNoSuchTable, g.Table)
+		}
+		for _, it := range g.Items {
+			if err := s.validate(it); err != nil {
+				return 0, err
+			}
+			bytes += it.Size()
+		}
+	}
+	for _, g := range groups {
+		t := s.tables[g.Table]
+		for _, it := range g.Items {
+			t.putLocked(it)
+		}
+	}
+	d := s.writeLatency(bytes)
+	s.cfg.Ledger.Record(s.cfg.Backend, "put", 1, int64(total), bytes)
+	return d, nil
+}
+
+// BatchGetMulti implements MultiStore, the read-side counterpart of
+// BatchPutMulti (DynamoDB's BatchGetItem spans tables too). Result i holds
+// groups[i]'s items; the whole request is metered once with the combined
+// key count and payload. The single-batch key limit applies to the total.
+func (s *MemStore) BatchGetMulti(groups []TableKeys) ([]map[string][]Item, time.Duration, error) {
+	var total int
+	for _, g := range groups {
+		total += len(g.Keys)
+	}
+	if lim := s.cfg.Limits.BatchGetKeys; lim > 0 && total > lim {
+		return nil, 0, fmt.Errorf("%w: %d keys > %d", ErrBatchTooLarge, total, lim)
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	results := make([]map[string][]Item, len(groups))
+	var bytes int64
+	for i, g := range groups {
+		out := make(map[string][]Item, len(g.Keys))
+		for _, k := range g.Keys {
+			items, b, err := s.getLocked(g.Table, k)
+			if err != nil {
+				return nil, 0, err
+			}
+			out[k] = items
+			bytes += b
+		}
+		results[i] = out
+	}
+	d := s.readLatency(bytes)
+	s.cfg.Ledger.Record(s.cfg.Backend, "get", 1, int64(total), bytes)
+	return results, d, nil
+}
+
 // DeleteItem implements Store. The write is metered like a put of the
 // item's key size (DynamoDB bills deletes as writes).
 func (s *MemStore) DeleteItem(tbl, hashKey, rangeKey string) (time.Duration, error) {

@@ -110,6 +110,14 @@ func (r *Retry) RetryStats() RetryStats {
 	}
 }
 
+// Unwrap exposes the wrapped store so capability probes (AsDumper,
+// AsShardRouter) can walk the stack. Retry deliberately does NOT forward
+// the MultiStore interface: multi-table requests through a retrying,
+// fault-injected stack would need cross-table partial-batch bookkeeping,
+// so a sharding layer above a Retry falls back to per-shard batches
+// instead.
+func (r *Retry) Unwrap() Store { return r.Store }
+
 // RetryStatsSource is implemented by stores that can report retry
 // degradation counters (the Retry wrapper); look-up code uses it to
 // attribute store retries to LookupStats.

@@ -121,9 +121,13 @@ type tableDump map[string][]kv.Item
 
 func dumpStore(t *testing.T, w *Warehouse) tableDump {
 	t.Helper()
-	dumper, ok := w.BaseStore().(interface{ DumpTable(string) []kv.Item })
-	if !ok {
-		t.Fatalf("base store %T cannot dump tables", w.BaseStore())
+	// AsDumper walks the store stack (sharding, retry and chaos wrappers) to
+	// the dumping store; a sharded warehouse dumps each logical table as the
+	// deterministic merge of its partitions, directly comparable to an
+	// unsharded dump.
+	dumper := kv.AsDumper(w.Store())
+	if dumper == nil {
+		t.Fatalf("store %T cannot dump tables", w.Store())
 	}
 	out := tableDump{}
 	for _, tbl := range w.Strategy.Tables() {
@@ -172,7 +176,7 @@ func runWorkload(t *testing.T, w *Warehouse) map[string][]string {
 // same index store contents, same answers to all ten workload queries, and
 // an empty dead-letter queue.
 func TestChaosDifferentialIndexing(t *testing.T) {
-	chaosDifferentialIndexing(t, false)
+	chaosDifferentialIndexing(t, false, 0)
 }
 
 // TestChaosDifferentialIndexingBulkLoad runs the same differential with the
@@ -183,10 +187,19 @@ func TestChaosDifferentialIndexing(t *testing.T) {
 // without deleting. The clean reference stays per-document, so this also
 // differentially proves bulk and per-document store contents identical.
 func TestChaosDifferentialIndexingBulkLoad(t *testing.T) {
-	chaosDifferentialIndexing(t, true)
+	chaosDifferentialIndexing(t, true, 0)
 }
 
-func chaosDifferentialIndexing(t *testing.T, bulk bool) {
+// TestChaosDifferentialIndexingSharded runs the bulk differential with the
+// chaotic warehouse hash-partitioned four ways: aggressive chaos, a worker
+// crash and bulk loading over a sharded store must still converge to the
+// clean unsharded per-document run — the merged shard dumps are compared
+// byte-for-byte against the single-table reference.
+func TestChaosDifferentialIndexingSharded(t *testing.T) {
+	chaosDifferentialIndexing(t, true, 4)
+}
+
+func chaosDifferentialIndexing(t *testing.T, bulk bool, shards int) {
 	seed := chaosSeed(t)
 	docs := chaosCorpus(seed)
 
@@ -197,8 +210,9 @@ func chaosDifferentialIndexing(t *testing.T, bulk bool) {
 	indexLive(t, clean, docs, false)
 
 	chaotic, err := New(Config{
-		Strategy: index.TwoLUPI,
-		BulkLoad: bulk,
+		Strategy:    index.TwoLUPI,
+		BulkLoad:    bulk,
+		IndexShards: shards,
 		// Tracing on the chaotic side proves the span journal perturbs
 		// nothing even under concurrent workers and injected faults.
 		Trace: true,

@@ -182,6 +182,15 @@ type Config struct {
 	// obs.DefaultJournalCapacity); the oldest spans are dropped beyond it.
 	TraceCapacity int
 
+	// IndexShards hash-partitions every index table across that many
+	// physical partitions (kv.Sharded): each posting routes to the shard
+	// selected by a deterministic hash of its key, and look-ups scatter-
+	// gather across shards. 0 or 1 keeps the unsharded layout. Sharded
+	// batches ship as single multi-table requests, so results, modeled
+	// times and billed cost are identical at every shard count — the
+	// sharding differential tests assert this byte-for-byte.
+	IndexShards int
+
 	// Chaos, when set, interposes the seeded fault-injection layer between
 	// the warehouse and all three cloud services — throttling, transient
 	// errors and partial batches on the index store; duplicate delivery and
@@ -379,8 +388,21 @@ func New(cfg Config) (*Warehouse, error) {
 		w.retry.Sink = reg
 		w.store = w.retry
 	}
+	if cfg.IndexShards > 1 {
+		// The sharding layer sits on top of the whole store stack: over the
+		// bare store it ships one multi-table request per logical batch
+		// (billing/latency identical to unsharded), over the chaos stack it
+		// falls back to per-shard batches so retry and fault semantics stay
+		// per physical partition.
+		sh := kv.NewSharded(w.store, cfg.IndexShards)
+		sh.Sink = reg
+		w.store = sh
+	}
 	if cfg.PostingCacheBytes > 0 {
 		w.cache = index.NewPostingCache(cfg.PostingCacheBytes)
+		if rt := kv.AsShardRouter(w.store); rt != nil {
+			w.cache.SetStoreShards(rt.ShardCount())
+		}
 		w.lookupOpts.Cache = w.cache
 	}
 	if err := w.files.CreateBucket(Bucket); err != nil {
@@ -398,7 +420,7 @@ func New(cfg Config) (*Warehouse, error) {
 	if err := w.queues.SetRedrivePolicy(LoaderQueue, LoaderDeadLetters, maxAttempts); err != nil {
 		return nil, err
 	}
-	if err := index.CreateTables(baseStore, cfg.Strategy); err != nil {
+	if err := index.CreateTables(w.store, cfg.Strategy); err != nil {
 		return nil, err
 	}
 	return w, nil

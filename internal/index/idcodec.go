@@ -37,7 +37,11 @@ func EncodeIDsBinary(ids []xmltree.NodeID, maxBlob int) [][]byte {
 			prevPre = 0
 		}
 	}
-	var tmp [3 * binary.MaxVarintLen32]byte
+	// MaxVarintLen64, not 32: a negative component sign-extends to a full
+	// 64-bit uvarint (10 bytes), and the encoder must not panic on such
+	// inputs — it round-trips them through the decoder's modular int32
+	// arithmetic instead (the codec fuzz targets exercise this).
+	var tmp [3 * binary.MaxVarintLen64]byte
 	for _, id := range ids {
 		n := binary.PutUvarint(tmp[:], uint64(id.Pre-prevPre))
 		n += binary.PutUvarint(tmp[n:], uint64(id.Post))

@@ -99,7 +99,10 @@ func DecodePathValue(v []byte) ([]string, error) {
 			return nil, fmt.Errorf("index: corrupt path block (suffix length)")
 		}
 		rest = rest[n:]
-		if int(shared) > len(prev) || int(suffix) > len(rest) {
+		// Compare in uint64: a hostile length like 1<<63 would wrap negative
+		// under int() and slip past an int comparison, then panic in the
+		// slice expression below (found by FuzzDecodePathValue).
+		if shared > uint64(len(prev)) || suffix > uint64(len(rest)) {
 			return nil, fmt.Errorf("index: corrupt path block (lengths out of range)")
 		}
 		p := prev[:shared] + string(rest[:suffix])

@@ -254,11 +254,12 @@ func StageOrder(names []string) {
 		SpanProcess:        7,
 		SpanLookup:         8,
 		SpanIndexGet:       9,
-		SpanSemijoin:       10,
-		SpanTwigJoin:       11,
-		SpanEval:           12,
-		SpanResults:        13,
-		SpanFetchResults:   14,
+		SpanScatter:        10,
+		SpanSemijoin:       11,
+		SpanTwigJoin:       12,
+		SpanEval:           13,
+		SpanResults:        14,
+		SpanFetchResults:   15,
 	}
 	sort.SliceStable(names, func(i, j int) bool {
 		ri, iok := rank[names[i]]
@@ -291,11 +292,15 @@ const (
 	SpanExtract        = "extract"
 	SpanUpload         = "upload"
 
-	SpanQuery        = "query"
-	SpanSubmitQuery  = "submit.query"
-	SpanProcess      = "process"
-	SpanLookup       = "lookup"
-	SpanIndexGet     = "index.get"
+	SpanQuery       = "query"
+	SpanSubmitQuery = "submit.query"
+	SpanProcess     = "process"
+	SpanLookup      = "lookup"
+	SpanIndexGet    = "index.get"
+	// SpanScatter annotates an index.get served by a sharded store: the
+	// scatter-gather fan-out across partitions, with the shard count and
+	// per-shard key distribution attached.
+	SpanScatter      = "lookup.scatter"
 	SpanSemijoin     = "semijoin"
 	SpanTwigJoin     = "twigjoin"
 	SpanEval         = "eval"

@@ -1,0 +1,35 @@
+package pattern
+
+import "testing"
+
+// FuzzParse: the tree-pattern parser never panics on arbitrary input, and
+// for anything it accepts the rendered form is a fixed point — String()
+// reparses to a query that renders identically. That fixed point is what
+// the property tests in internal/core lean on when they generate random
+// queries, render them and feed the text to the full pipeline.
+func FuzzParse(f *testing.F) {
+	f.Add(`//painting[/name{val}, //painter[/name{val}]]`)
+	f.Add(`//item[/@id{val}, //description~"Zanzibar"]`)
+	f.Add(`//open_auction[/price{val} in ["1","3000"], /seller $s], //person[/@id{val} $p] where $s = $p`)
+	f.Add(`//closed_auction{cont}[/price="100"]`)
+	f.Add(`person`)
+	f.Add(`//a[`)
+	f.Add(`//`)
+	f.Add("//a=\"\n\"") // raw newline in a string literal
+	f.Add(`//a~"back\\slash and \"quote\""`)
+	f.Add("//a\x00b")
+	f.Fuzz(func(t *testing.T, input string) {
+		q, err := Parse(input)
+		if err != nil {
+			return
+		}
+		text := q.String()
+		q2, err := Parse(text)
+		if err != nil {
+			t.Fatalf("accepted %q but rendering %q does not reparse: %v", input, text, err)
+		}
+		if again := q2.String(); again != text {
+			t.Fatalf("rendering is not a fixed point:\n  input:  %q\n  first:  %q\n  second: %q", input, text, again)
+		}
+	})
+}

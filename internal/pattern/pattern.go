@@ -122,14 +122,32 @@ func compareValues(a, b string) int {
 	return strings.Compare(a, b)
 }
 
+// quoteLiteral quotes a predicate constant in the form the lexer reads
+// back: only '\' and '"' are escaped, every other byte (including control
+// characters) is written raw. Go-style %q escaping would not round-trip —
+// the lexer has no escape table, it just skips a backslash and takes the
+// next byte literally, so `\n` would come back as the letter 'n'.
+func quoteLiteral(s string) string {
+	var b strings.Builder
+	b.WriteByte('"')
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\\' || s[i] == '"' {
+			b.WriteByte('\\')
+		}
+		b.WriteByte(s[i])
+	}
+	b.WriteByte('"')
+	return b.String()
+}
+
 func (p Pred) String() string {
 	switch p.Kind {
 	case NoPred:
 		return ""
 	case Eq:
-		return fmt.Sprintf("=%q", p.Const)
+		return "=" + quoteLiteral(p.Const)
 	case Contains:
-		return fmt.Sprintf("~%q", p.Const)
+		return "~" + quoteLiteral(p.Const)
 	case Range:
 		lb, rb := "[", "]"
 		if p.LoStrict {
@@ -138,7 +156,7 @@ func (p Pred) String() string {
 		if p.HiStrict {
 			rb = ")"
 		}
-		return fmt.Sprintf(" in %s%q,%q%s", lb, p.Lo, p.Hi, rb)
+		return fmt.Sprintf(" in %s%s,%s%s", lb, quoteLiteral(p.Lo), quoteLiteral(p.Hi), rb)
 	default:
 		return "?"
 	}
