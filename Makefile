@@ -5,7 +5,11 @@ FUZZTIME ?= 20s
 # under it so unrelated churn doesn't flake the gate).
 COVER_MIN ?= 80.0
 
-.PHONY: build test race vet fmt bench benchsmoke obs-smoke check fuzzsmoke coverage
+.PHONY: build test race vet fmt bench benchartifact benchcmp benchsmoke obs-smoke check fuzzsmoke coverage
+
+# BENCH_ARTIFACT is the checked-in benchmark snapshot this PR sequence
+# tracks; benchcmp diffs a fresh run against it.
+BENCH_ARTIFACT ?= BENCH_6.json
 
 build:
 	$(GO) build ./...
@@ -29,9 +33,23 @@ race:
 check: fmt vet race
 
 # bench regenerates benchall_output.txt (untracked; see .gitignore) from
-# the full default-scale evaluation.
+# the full default-scale evaluation, then refreshes the machine-readable
+# benchmark artifact.
 bench:
 	$(GO) run ./cmd/benchall | tee benchall_output.txt
+	$(GO) run ./cmd/benchall -artifact $(BENCH_ARTIFACT) -scale tiny
+
+# benchartifact refreshes only the machine-readable snapshot (the fast
+# path CI and benchcmp use).
+benchartifact:
+	$(GO) run ./cmd/benchall -artifact $(BENCH_ARTIFACT) -scale tiny
+
+# benchcmp measures a fresh artifact and diffs it against the checked-in
+# baseline, flagging >10% ns/op regressions (informational: wall-clock
+# comparisons across machines are noisy, so CI runs this non-blocking).
+benchcmp:
+	$(GO) run ./cmd/benchall -artifact /tmp/bench_head.json -scale tiny
+	$(GO) run ./cmd/benchall -compare $(BENCH_ARTIFACT) /tmp/bench_head.json
 
 # benchsmoke runs every Go benchmark exactly once — the CI smoke check
 # that the benchmark harness itself still works.

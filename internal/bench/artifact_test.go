@@ -1,0 +1,59 @@
+package bench
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func testArtifact(ns map[string]float64) *Artifact {
+	a := &Artifact{Version: ArtifactVersion, Scale: "tiny"}
+	for n, v := range ns {
+		a.Benchmarks = append(a.Benchmarks, BenchEntry{Name: n, NsPerOp: v, N: 100})
+	}
+	return a
+}
+
+func TestArtifactRoundTrip(t *testing.T) {
+	a := testArtifact(map[string]float64{"Lookup/seq": 1000, "Codec/decode": 50})
+	a.Stages = []StageEntry{{Stage: "query", Spans: 10, TotalNs: 12345, CostUSD: 0.001}}
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := WriteArtifact(a, path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadArtifact(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Benchmarks) != 2 || len(got.Stages) != 1 || got.Scale != "tiny" {
+		t.Fatalf("round trip = %+v", got)
+	}
+	// Version mismatches must be rejected, not silently compared.
+	a.Version = ArtifactVersion + 1
+	if err := WriteArtifact(a, path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadArtifact(path); err == nil {
+		t.Fatal("version mismatch accepted")
+	}
+}
+
+func TestCompareArtifactsFlagsRegressions(t *testing.T) {
+	old := testArtifact(map[string]float64{
+		"steady": 1000, "faster": 1000, "slower": 1000, "gone": 1000})
+	cur := testArtifact(map[string]float64{
+		"steady": 1050, "faster": 500, "slower": 1500, "added": 10})
+	report, regressed := CompareArtifacts(old, cur, 0.10)
+	if len(regressed) != 1 || regressed[0] != "slower" {
+		t.Fatalf("regressed = %v, want [slower]", regressed)
+	}
+	for _, want := range []string{"REGRESSION", "steady", "gone", "added", "+50.0%", "-50.0%"} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q:\n%s", want, report)
+		}
+	}
+	// A 5% drift stays under the default threshold.
+	if strings.Count(report, "REGRESSION") != 1 {
+		t.Errorf("report flags the wrong rows:\n%s", report)
+	}
+}

@@ -291,6 +291,7 @@ type coreMetrics struct {
 	cacheHits            *obs.Counter
 	cacheMisses          *obs.Counter
 	cacheEvictions       *obs.Counter
+	joins                index.JoinCounters
 
 	queryResponse  *obs.Histogram
 	queryLookup    *obs.Histogram
@@ -321,6 +322,11 @@ func resolveMetrics(r *obs.Registry) coreMetrics {
 		cacheHits:            r.Counter("index.cache.hits"),
 		cacheMisses:          r.Counter("index.cache.misses"),
 		cacheEvictions:       r.Counter("index.cache.evictions"),
+		joins: index.JoinCounters{
+			BlocksRead:            r.Counter("index.join.blocks_read"),
+			BlocksSkipped:         r.Counter("index.join.blocks_skipped"),
+			ContainersIntersected: r.Counter("index.join.containers_intersected"),
+		},
 
 		queryResponse:  r.Histogram("core.query.response"),
 		queryLookup:    r.Histogram("core.query.lookup"),
@@ -372,6 +378,7 @@ func New(cfg Config) (*Warehouse, error) {
 		reg:            reg,
 		met:            resolveMetrics(reg),
 	}
+	w.lookupOpts.Joins = &w.met.joins
 	if cfg.Trace {
 		w.tracer = obs.NewTracer(ledger, cfg.TraceCapacity)
 	}

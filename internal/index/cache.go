@@ -242,7 +242,12 @@ func (c *PostingCache) Counters() (hits, misses, evictions int64) {
 }
 
 // postingsBytes approximates the resident size of a decoded posting set:
-// key bytes, URI bytes, path bytes, and the fixed-width identifiers.
+// key bytes, URI bytes, path bytes, and the identifiers. A blocked posting
+// is charged its compressed payload, its headers, and the decoded width of
+// every identifier — blocks decode lazily but the memo retains them, so
+// the eventual resident size is what the budget must account for (and the
+// charge stays a pure function of the content, keeping eviction, and the
+// LookupStats that report it, deterministic).
 func postingsBytes(k cacheKey, postings map[string]*Posting) int64 {
 	n := int64(len(k.table) + len(k.key) + 1)
 	for uri, p := range postings {
@@ -250,8 +255,11 @@ func postingsBytes(k cacheKey, postings map[string]*Posting) int64 {
 		for _, path := range p.Paths {
 			n += int64(len(path))
 		}
-		n += int64(len(p.IDs)) * 12 // pre, post int32 + depth int32
-		n += 48                     // map slot and struct overhead
+		n += int64(p.IDCount()) * 12 // pre, post, depth int32
+		if p.IDs == nil && p.blocked != nil {
+			n += p.blocked.PayloadBytes() + int64(p.blocked.Blocks())*48
+		}
+		n += 48 // map slot and struct overhead
 	}
 	return n
 }

@@ -122,6 +122,16 @@ func FuzzDecodeIDsBinary(f *testing.F) {
 	f.Add([]byte{0x80})                                                             // truncated uvarint
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01, 1, 1}) // > int32
 	f.Add(EncodeIDsBinary([]xmltree.NodeID{{Pre: 3, Post: 3, Depth: 2}, {Pre: 6, Post: 8, Depth: 3}}, 0)[0])
+	// Blocked-format seeds: a valid blocked blob, a bit-flipped copy (the
+	// checksum must bounce it to the legacy path without a panic), a
+	// truncated prefix, and a bare magic byte.
+	blocked := EncodeIDsBlocked(genSortedIDs(64, 42), 0)[0]
+	f.Add(blocked)
+	flipped := append([]byte(nil), blocked...)
+	flipped[len(flipped)/2] ^= 0x20
+	f.Add(flipped)
+	f.Add(blocked[:len(blocked)/2])
+	f.Add([]byte{0xB1})
 	f.Fuzz(func(t *testing.T, blob []byte) {
 		ids, err := DecodeIDsBinary(blob)
 		if err != nil {

@@ -7,6 +7,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/idblock"
 	"repro/internal/xmltree"
 )
 
@@ -16,6 +17,15 @@ import (
 // (Section 8.2); we use varint deltas on the pre components. SimpleDB
 // forbids binary values, so its codec is plain text — one of the reasons
 // the predecessor system [8] needed many more, larger items (Tables 7-8).
+//
+// Two binary formats coexist. The legacy format is a bare delta+varint
+// triple stream (EncodeIDsBinary). The blocked format (package idblock)
+// prefixes per-block summary headers so the join kernels can skip whole
+// blocks without decoding; it is what the write path emits today. The
+// decoder accepts both — existing dumps keep working — distinguishing them
+// by the blocked magic byte plus a checksum and strict structural
+// validation, so a legacy blob whose first byte collides with the magic
+// still falls through to the legacy decoder.
 
 // ErrCorruptIDSet reports an undecodable identifier blob.
 var ErrCorruptIDSet = errors.New("index: corrupt identifier set")
@@ -60,9 +70,55 @@ func EncodeIDsBinary(ids []xmltree.NodeID, maxBlob int) [][]byte {
 	return blobs
 }
 
-// DecodeIDsBinary decodes one binary blob.
+// blockedMinIDs is the set size below which the blocked format is not
+// worth its framing: magic, checksum and one header cost ~20 bytes, which
+// dwarfs a handful of delta-varint triples (and a set that small decodes in
+// nanoseconds anyway). Small sets — the long tail of per-document postings
+// — keep the legacy encoding; the decoder accepts both, so the cut-off is
+// a pure encoding choice.
+const blockedMinIDs = 32
+
+// EncodeIDsBlocked encodes a pre-sorted identifier set into blocked blobs
+// (package idblock) of at most maxBlob bytes: the same delta+varint triples
+// as the legacy format, cut into blocks behind per-block summary headers so
+// that look-ups can skip blocks without decoding them. Sets too small to
+// amortize the framing, and unsorted inputs (which only hostile re-encodes
+// of corrupt blobs produce, never the extraction pipeline), fall back to
+// the legacy stream format.
+func EncodeIDsBlocked(ids []xmltree.NodeID, maxBlob int) [][]byte {
+	if len(ids) < blockedMinIDs || !idblock.IsSorted(ids) {
+		return EncodeIDsBinary(ids, maxBlob)
+	}
+	return idblock.Encode(ids, idblock.DefaultBlockSize, maxBlob)
+}
+
+// DecodeIDsBinary decodes one binary blob in either binary format: blocked
+// blobs are parsed, fully decoded and pre-sized from their block-header
+// counts; anything else takes the legacy path.
 func DecodeIDsBinary(blob []byte) ([]xmltree.NodeID, error) {
-	var ids []xmltree.NodeID
+	if idblock.Looks(blob) {
+		if s, err := idblock.Parse(blob); err == nil {
+			ids, err := s.All()
+			if err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrCorruptIDSet, err)
+			}
+			return ids, nil
+		}
+		// Parse failures mean "not the blocked format": a legacy payload
+		// whose first delta byte happens to equal the magic.
+	}
+	return decodeIDsLegacy(blob)
+}
+
+// decodeIDsLegacy decodes a legacy delta+varint stream. The output is
+// pre-sized from the byte length — a triple is at least three bytes, so
+// len/3 bounds the count — which keeps the decode at one allocation (the
+// codec benchmarks assert this).
+func decodeIDsLegacy(blob []byte) ([]xmltree.NodeID, error) {
+	if len(blob) == 0 {
+		return nil, nil
+	}
+	ids := make([]xmltree.NodeID, 0, len(blob)/3)
 	var prevPre int32
 	for len(blob) > 0 {
 		dPre, n := binary.Uvarint(blob)
@@ -146,11 +202,26 @@ func DecodeIDs(v []byte, binaryIDs bool) ([]xmltree.NodeID, error) {
 	return DecodeIDsText(v)
 }
 
+// DecodeIDSet decodes one stored identifier value into its lazy blocked
+// form when possible: a valid blocked blob returns its parsed Set — headers
+// only, no payload decoded. Legacy and text values decode eagerly and are
+// returned as a plain slice with a nil Set.
+func DecodeIDSet(v []byte, binaryIDs bool) (*idblock.Set, []xmltree.NodeID, error) {
+	if binaryIDs && idblock.Looks(v) {
+		if s, err := idblock.Parse(v); err == nil {
+			return s, nil, nil
+		}
+	}
+	ids, err := DecodeIDs(v, binaryIDs)
+	return nil, ids, err
+}
+
 // EncodeIDs encodes a sorted identifier set in the codec chosen by
-// binaryIDs, splitting values at maxValue bytes.
+// binaryIDs, splitting values at maxValue bytes. Binary stores get the
+// blocked format; DecodeIDs accepts both it and the legacy stream.
 func EncodeIDs(ids []xmltree.NodeID, binaryIDs bool, maxValue int) [][]byte {
 	if binaryIDs {
-		return EncodeIDsBinary(ids, maxValue)
+		return EncodeIDsBlocked(ids, maxValue)
 	}
 	return EncodeIDsText(ids, maxValue)
 }

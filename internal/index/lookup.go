@@ -95,6 +95,10 @@ type LookupOptions struct {
 	// default, and always the case when tracing is off — makes every span
 	// operation a no-op.
 	Span *obs.Span
+	// Joins, when non-nil, receives the block-level counters of the
+	// operate-on-compressed kernels (blocks read / blocks skipped /
+	// containers intersected). A nil Joins makes every update a no-op.
+	Joins *JoinCounters
 }
 
 // resolveLookup flattens the optional trailing options of the exported
@@ -310,7 +314,7 @@ func lookupLU(store kv.Store, table string, aug *augmented, opt LookupOptions) (
 	for _, k := range keys {
 		uriSets = append(uriSets, postings[k])
 	}
-	return intersectURIs(uriSets), stats, nil
+	return intersectURIs(uriSets, opt.Joins), stats, nil
 }
 
 // lookupLUP implements Section 5.2: for each root-to-leaf query path, look
@@ -347,7 +351,7 @@ func lookupLUP(store kv.Store, table string, aug *augmented, opt LookupOptions) 
 		}
 		uriSets = append(uriSets, matched)
 	}
-	return intersectURIs(uriSets), stats, nil
+	return intersectURIs(uriSets, opt.Joins), stats, nil
 }
 
 // lookupLUI implements Sections 5.3-5.4: fetch the identifier streams of
@@ -363,51 +367,50 @@ func lookupLUI(store kv.Store, table string, aug *augmented, reduce map[string]b
 	stats := statsFromRead(rs)
 
 	// Candidate URIs must appear under every key (and pass the reduction).
-	candidates := make(map[string]bool)
-	for uri := range postings[keys[0]] {
-		candidates[uri] = true
+	// The bitmap intersector returns them already sorted, which fixes the
+	// fan-out order below without a separate sort.
+	uriSets := make([]map[string]*Posting, len(keys))
+	for i, k := range keys {
+		uriSets[i] = postings[k]
 	}
-	for _, k := range keys[1:] {
-		for uri := range candidates {
-			if _, ok := postings[k][uri]; !ok {
-				delete(candidates, uri)
-			}
-		}
-	}
+	ordered := intersectURIs(uriSets, opt.Joins)
 	if reduce != nil {
-		for uri := range candidates {
-			if !reduce[uri] {
-				delete(candidates, uri)
+		kept := ordered[:0]
+		for _, uri := range ordered {
+			if reduce[uri] {
+				kept = append(kept, uri)
 			}
 		}
+		ordered = kept
 	}
-	stats.TwigCandidates = len(candidates)
+	stats.TwigCandidates = len(ordered)
 	tj := opt.Span.Child(obs.SpanTwigJoin)
-	tj.SetAttrInt("candidates", int64(len(candidates)))
+	tj.SetAttrInt("candidates", int64(len(ordered)))
 
 	// The per-candidate holistic twig joins are independent CPU work over
 	// read-only postings; fan them out across the worker pool. Candidates
-	// are fixed in sorted order first so the output (and any future
-	// tie-breaking) never depends on scheduling.
-	ordered := make([]string, 0, len(candidates))
-	for uri := range candidates {
-		ordered = append(ordered, uri)
-	}
-	sort.Strings(ordered)
+	// are in sorted order so the output (and any future tie-breaking) never
+	// depends on scheduling; per-candidate join stats are summed in that
+	// same order, keeping the obs counters deterministic too.
 	matched := make([]bool, len(ordered))
+	joinStats := make([]twigjoin.JoinStats, len(ordered))
+	errs := make([]error, len(ordered))
 	matchOne := func(ci int) {
 		uri := ordered[ci]
-		streams := make(twigjoin.Streams)
+		streams := make(twigjoin.IndexedStreams)
 		ok := true
 		aug.tree.Walk(func(n *pattern.Node) {
 			p := postings[aug.keys[n]][uri]
-			if p == nil || len(p.IDs) == 0 {
+			if p == nil || p.IDCount() == 0 {
 				ok = false
 				return
 			}
-			streams[n] = twigjoin.Stream(p.IDs)
+			streams[n] = p.IDSet()
 		})
-		matched[ci] = ok && twigjoin.Match(aug.tree, streams)
+		if !ok {
+			return
+		}
+		matched[ci], errs[ci] = twigjoin.MatchIndexed(aug.tree, streams, &joinStats[ci])
 	}
 	if workers := min(opt.workers(), len(ordered)); workers <= 1 {
 		for ci := range ordered {
@@ -431,6 +434,20 @@ func lookupLUI(store kv.Store, table string, aug *augmented, reduce map[string]b
 		close(idx)
 		wg.Wait()
 	}
+	var total twigjoin.JoinStats
+	for _, js := range joinStats {
+		total.Add(js)
+	}
+	opt.Joins.addJoin(total)
+	tj.SetAttrInt("blocks_read", total.BlocksRead)
+	tj.SetAttrInt("blocks_skipped", total.BlocksSkipped)
+	for _, err := range errs {
+		if err != nil {
+			tj.SetError(err)
+			tj.End()
+			return nil, stats, err
+		}
+	}
 	var out []string
 	for ci, uri := range ordered {
 		if matched[ci] {
@@ -440,26 +457,4 @@ func lookupLUI(store kv.Store, table string, aug *augmented, reduce map[string]b
 	tj.SetAttrInt("matched", int64(len(out)))
 	tj.End()
 	return out, stats, nil
-}
-
-// intersectURIs returns the sorted intersection of the URI sets.
-func intersectURIs(sets []map[string]*Posting) []string {
-	if len(sets) == 0 {
-		return nil
-	}
-	var out []string
-	for uri := range sets[0] {
-		in := true
-		for _, s := range sets[1:] {
-			if _, ok := s[uri]; !ok {
-				in = false
-				break
-			}
-		}
-		if in {
-			out = append(out, uri)
-		}
-	}
-	sort.Strings(out)
-	return out
 }

@@ -9,9 +9,11 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cloud/kv"
+	"repro/internal/idblock"
 	"repro/internal/xmltree"
 )
 
@@ -293,10 +295,61 @@ const (
 )
 
 // Posting is the merged index content of one key for one document.
+//
+// Identifier postings come in one of two interchangeable shapes. When every
+// stored value of the (key, URI) pair decoded as a blocked blob whose
+// segments tile the pre axis without overlap — the invariant of every write
+// path — blocked holds the lazy set and IDs stays nil: only block headers
+// were decoded, and payloads decode on demand (memoized inside the Set, so
+// a cached Posting keeps its decoded blocks across look-ups). Otherwise —
+// legacy blobs, text values, mixed segments — IDs is materialized eagerly
+// in pre order, and IDSet wraps it as a single pre-decoded block on first
+// use, so join kernels see one interface either way. The wrap is deferred
+// and memoized because most decoded postings never reach a join: their
+// URIs fall out of the candidate intersection first.
 type Posting struct {
 	URI   string
 	Paths []string
 	IDs   []xmltree.NodeID
+
+	blocked *idblock.Set                // lazy set decoded from blocked blobs
+	wrapped atomic.Pointer[idblock.Set] // memoized single-block wrap of IDs
+}
+
+// IDCount returns the identifier count without decoding any payload.
+func (p *Posting) IDCount() int {
+	if p.IDs != nil {
+		return len(p.IDs)
+	}
+	return p.blocked.Len()
+}
+
+// IDSet returns the blocked view of the posting's identifiers (nil when
+// the posting has none). Postings are shared between concurrent look-ups
+// and with the cache, so the eager-side wrap is memoized through an atomic
+// — racing callers may build it twice but all end up with one winner.
+func (p *Posting) IDSet() *idblock.Set {
+	if p.blocked != nil {
+		return p.blocked
+	}
+	if len(p.IDs) == 0 {
+		return nil
+	}
+	if s := p.wrapped.Load(); s != nil {
+		return s
+	}
+	p.wrapped.CompareAndSwap(nil, idblock.FromIDs(p.IDs))
+	return p.wrapped.Load()
+}
+
+// DecodedIDs materializes the posting's identifiers in pre order. The
+// returned slice is shared — with the cache, and with other look-ups — and
+// must not be mutated.
+func (p *Posting) DecodedIDs() ([]xmltree.NodeID, error) {
+	if p.IDs != nil {
+		return p.IDs, nil
+	}
+	return p.blocked.All()
 }
 
 // ReadKey fetches and decodes every item under one hash key of a table,
@@ -442,7 +495,12 @@ func ReadKeys(store kv.Store, table string, keys []string, kind PostingKind, bin
 }
 
 func decodeItems(items []kv.Item, kind PostingKind, binaryIDs bool) (map[string]*Posting, error) {
-	postings := make(map[string]*Posting)
+	// Most items carry one URI attribute, so the item count is a good size
+	// hint for the posting map.
+	postings := make(map[string]*Posting, len(items))
+	// Identifier values stay lazy when they can: blocked blobs contribute
+	// parsed Sets (headers only), everything else decodes eagerly.
+	var segs map[string][]*idblock.Set
 	for _, it := range items {
 		for _, a := range it.Attrs {
 			p, ok := postings[a.Name]
@@ -463,21 +521,61 @@ func decodeItems(items []kv.Item, kind PostingKind, binaryIDs bool) (map[string]
 				}
 			case IDPosting:
 				for _, v := range a.Values {
-					ids, err := DecodeIDs(v, binaryIDs)
+					set, ids, err := DecodeIDSet(v, binaryIDs)
 					if err != nil {
 						return nil, err
 					}
-					p.IDs = append(p.IDs, ids...)
+					switch {
+					case set != nil:
+						if segs == nil {
+							segs = make(map[string][]*idblock.Set)
+						}
+						segs[a.Name] = append(segs[a.Name], set)
+					case p.IDs == nil:
+						// The decode owns the slice; single-value entries —
+						// the common case — adopt it without a copy.
+						p.IDs = ids
+					default:
+						p.IDs = append(p.IDs, ids...)
+					}
 				}
 			}
 		}
 	}
 	if kind == IDPosting {
-		for _, p := range postings {
-			sortIDs(p.IDs)
+		for uri, p := range postings {
+			if err := finishIDPosting(p, segs[uri]); err != nil {
+				return nil, err
+			}
 		}
 	}
 	return postings, nil
+}
+
+// finishIDPosting fixes a decoded identifier posting into its final shape.
+// All-blocked segments that tile the pre axis merge into one lazy Set —
+// items arrive ordered by range key, not content, and Merge restores pre
+// order from the headers alone. Anything else (legacy values, overlapping
+// segments) materializes: decode everything, restore pre order, and wrap
+// the result as a single-block Set so the join kernels are format-blind.
+func finishIDPosting(p *Posting, segs []*idblock.Set) error {
+	if p.IDs == nil {
+		if merged, ok := idblock.Merge(segs); ok {
+			p.blocked = merged
+			return nil
+		}
+	}
+	for _, s := range segs {
+		ids, err := s.All()
+		if err != nil {
+			return err
+		}
+		p.IDs = append(p.IDs, ids...)
+	}
+	if !idblock.IsSorted(p.IDs) {
+		sortIDs(p.IDs)
+	}
+	return nil
 }
 
 func sortIDs(ids []xmltree.NodeID) {

@@ -1,0 +1,142 @@
+package index
+
+import (
+	"math/bits"
+	"sort"
+
+	"repro/internal/obs"
+	"repro/internal/twigjoin"
+)
+
+// URI-set intersection for the LU/LUP look-ups and the candidate step of
+// LUI/2LUPI. The previous implementation iterated one map and probed the
+// others per URI, then sorted the survivors; this one builds an interned
+// URI dictionary per look-up — the sorted URIs of the smallest set, which
+// bounds the intersection — and represents every other set as a bitmap
+// over that dictionary, roaring-style: 64-URI containers combined with
+// word-parallel ANDs, with already-empty containers skipped entirely. The
+// output is sorted by construction, and the result is byte-identical to
+// the map version (the strategy property differential asserts this).
+
+// JoinCounters are the obs counters the look-up kernels feed, resolved
+// once at wiring time (see core's metrics resolution) and nil-safe
+// throughout — an uninstrumented run pays one nil check per update.
+type JoinCounters struct {
+	// BlocksRead counts posting blocks whose payload was consulted by a
+	// block-skipping join; BlocksSkipped counts blocks and probes resolved
+	// on their summary headers alone.
+	BlocksRead    *obs.Counter
+	BlocksSkipped *obs.Counter
+	// ContainersIntersected counts the 64-URI bitmap containers combined
+	// across all set intersections.
+	ContainersIntersected *obs.Counter
+}
+
+// addJoin folds one join's block-level work into the counters.
+func (j *JoinCounters) addJoin(js twigjoin.JoinStats) {
+	if j == nil {
+		return
+	}
+	j.BlocksRead.Add(js.BlocksRead)
+	j.BlocksSkipped.Add(js.BlocksSkipped)
+}
+
+// addContainers records n intersected bitmap containers.
+func (j *JoinCounters) addContainers(n int64) {
+	if j == nil {
+		return
+	}
+	j.ContainersIntersected.Add(n)
+}
+
+// intersectURIs returns the sorted intersection of the URI sets.
+func intersectURIs(sets []map[string]*Posting, jc *JoinCounters) []string {
+	if len(sets) == 0 {
+		return nil
+	}
+	si := 0
+	for i, s := range sets {
+		if len(s) < len(sets[si]) {
+			si = i
+		}
+	}
+	if len(sets[si]) == 0 {
+		return nil
+	}
+
+	// The dictionary: sorted URIs of the smallest set, interning every URI
+	// the intersection could contain as its dictionary index.
+	dict := make([]string, 0, len(sets[si]))
+	for uri := range sets[si] {
+		dict = append(dict, uri)
+	}
+	sort.Strings(dict)
+	if len(sets) == 1 {
+		return dict
+	}
+
+	// acc starts all-ones over the dictionary; each remaining set is turned
+	// into a bitmap over the same dictionary and ANDed in, one 64-URI
+	// container word at a time. A container that has gone empty skips both
+	// the membership probes and the AND of every later set.
+	acc := make([]uint64, (len(dict)+63)/64)
+	for w := range acc {
+		acc[w] = ^uint64(0)
+	}
+	if r := len(dict) % 64; r != 0 {
+		acc[len(acc)-1] = 1<<r - 1
+	}
+	other := make([]uint64, len(acc))
+	var containers int64
+	for i, s := range sets {
+		if i == si {
+			continue
+		}
+		live := false
+		for w, accw := range acc {
+			if accw == 0 {
+				other[w] = 0
+				continue
+			}
+			containers++
+			base := w << 6
+			end := min(base+64, len(dict))
+			var word uint64
+			for j := base; j < end; j++ {
+				if accw&(1<<uint(j-base)) == 0 {
+					continue
+				}
+				if _, ok := s[dict[j]]; ok {
+					word |= 1 << uint(j-base)
+				}
+			}
+			other[w] = word
+		}
+		for w := range acc {
+			acc[w] &= other[w]
+			if acc[w] != 0 {
+				live = true
+			}
+		}
+		if !live {
+			jc.addContainers(containers)
+			return nil
+		}
+	}
+	jc.addContainers(containers)
+
+	n := 0
+	for _, w := range acc {
+		n += bits.OnesCount64(w)
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]string, 0, n)
+	for j, uri := range dict {
+		if acc[j>>6]&(1<<uint(j&63)) != 0 {
+			out = append(out, uri)
+		}
+	}
+	return out
+}

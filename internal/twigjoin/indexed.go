@@ -1,0 +1,441 @@
+package twigjoin
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/idblock"
+	"repro/internal/pattern"
+	"repro/internal/xmltree"
+)
+
+// This file is the operate-on-compressed counterpart of twigjoin.go: the
+// same holistic bottom-up candidate computation, but over blocked identifier
+// sets (package idblock) instead of decoded streams. Three mechanisms keep
+// the work proportional to the answer rather than the posting size:
+//
+//   - Block skipping. Before decoding an ancestor block, its summary header
+//     is tested against each child candidate set's summary: an ancestor's
+//     pre is strictly below its descendants' and its post strictly above,
+//     so a block whose pre range starts at or after the child set's last
+//     pre, or whose post range ends at or below the child set's lowest
+//     post, cannot yield a candidate and is skipped whole.
+//   - Lazy leaves. A leaf's candidate set is its raw Set; the parent probes
+//     it block-wise, and a probe often resolves on headers alone (a block
+//     that lies entirely inside an ancestor's descendant interval answers a
+//     descendant probe without decoding).
+//   - Galloping cursors. Ancestors are filtered in increasing pre order, so
+//     each (parent, child) edge keeps a cursor at the previous probe's
+//     boundary and advances by exponential search — a merge when the sides
+//     are balanced, a binary search when one side is much smaller.
+//
+// The kernels are exact: MatchIndexed and CandidatesIndexed agree
+// elementwise with Match and Candidates on every input (the differential
+// tests assert this on seeded random corpora).
+
+// IndexedStreams maps each pattern node to its blocked identifier set.
+type IndexedStreams map[*pattern.Node]*idblock.Set
+
+// JoinStats counts the block-level work of one indexed join. BlocksRead
+// counts block-payload consultations (decodes are memoized inside the Set,
+// so a consultation is not necessarily a fresh varint decode);
+// BlocksSkipped counts blocks and probes resolved on headers alone.
+type JoinStats struct {
+	BlocksRead    int64
+	BlocksSkipped int64
+}
+
+// Add accumulates o into s.
+func (s *JoinStats) Add(o JoinStats) {
+	s.BlocksRead += o.BlocksRead
+	s.BlocksSkipped += o.BlocksSkipped
+}
+
+// summary are the bounds of a whole candidate set, the other half of every
+// block-skip decision.
+type summary struct {
+	minPre, maxPre     int32
+	minPost, maxPost   int32
+	minDepth, maxDepth int32
+}
+
+// candView is one node's candidate set during the bottom-up pass: either a
+// lazy unfiltered Set (leaves — probed block-wise, never decoded up front)
+// or a decoded, filtered stream (internal nodes), with the set's summary
+// and, for pooled streams, the buffer to release when the parent is done.
+type candView struct {
+	set  *idblock.Set
+	ids  Stream
+	pool *Stream
+	sum  summary
+	n    int
+}
+
+var streamPool = sync.Pool{New: func() any { return new(Stream) }}
+
+func (cv *candView) release() {
+	if cv != nil && cv.pool != nil {
+		*cv.pool = (*cv.pool)[:0]
+		streamPool.Put(cv.pool)
+		cv.pool, cv.ids = nil, nil
+	}
+}
+
+// setSummary folds a Set's block headers into whole-set bounds; no payload
+// is touched.
+func setSummary(s *idblock.Set) summary {
+	h := s.Header(0)
+	sum := summary{h.MinPre, h.MaxPre, h.MinPost, h.MaxPost, h.MinDepth, h.MaxDepth}
+	for i := 1; i < s.Blocks(); i++ {
+		h := s.Header(i)
+		sum.maxPre = max(sum.maxPre, h.MaxPre)
+		sum.minPre = min(sum.minPre, h.MinPre)
+		sum.maxPost = max(sum.maxPost, h.MaxPost)
+		sum.minPost = min(sum.minPost, h.MinPost)
+		sum.maxDepth = max(sum.maxDepth, h.MaxDepth)
+		sum.minDepth = min(sum.minDepth, h.MinDepth)
+	}
+	return sum
+}
+
+// streamSummary computes the bounds of a non-empty decoded stream.
+func streamSummary(s Stream) summary {
+	sum := summary{
+		minPre: s[0].Pre, maxPre: s[len(s)-1].Pre,
+		minPost: s[0].Post, maxPost: s[0].Post,
+		minDepth: s[0].Depth, maxDepth: s[0].Depth,
+	}
+	for _, id := range s[1:] {
+		sum.minPost = min(sum.minPost, id.Post)
+		sum.maxPost = max(sum.maxPost, id.Post)
+		sum.minDepth = min(sum.minDepth, id.Depth)
+		sum.maxDepth = max(sum.maxDepth, id.Depth)
+	}
+	return sum
+}
+
+// blockCanMatch reports whether an ancestor block with header h can contain
+// an element having a descendant (Child: a child) in the candidate view cv.
+// The conditions are necessary, never sufficient — false positives cost a
+// decode, false negatives would cost correctness, so each follows directly
+// from the interval containment of the pre/post scheme.
+func blockCanMatch(h idblock.Header, cv *candView, axis pattern.Axis) bool {
+	if h.MinPre >= cv.sum.maxPre || h.MaxPost <= cv.sum.minPost {
+		return false
+	}
+	if axis == pattern.Child {
+		// A child sits exactly one level below its parent.
+		if h.MaxDepth+1 < cv.sum.minDepth || h.MinDepth+1 > cv.sum.maxDepth {
+			return false
+		}
+	}
+	return true
+}
+
+// probeCursor is the per-edge galloping state: the boundary "first element
+// after the probed ancestor" only moves right as ancestors are probed in
+// pre order, so each probe resumes where the last one stopped.
+type probeCursor struct {
+	pos   int // decoded-view index lower bound
+	block int // lazy-view block index lower bound
+}
+
+// seekAfter returns the smallest j >= from with s[j].Pre > pre, by
+// exponential search from `from` followed by a binary search in the bracket
+// — O(log d) in the distance d advanced, not in len(s).
+func seekAfter(s Stream, from int, pre int32) int {
+	n := len(s)
+	if from >= n || s[from].Pre > pre {
+		return from
+	}
+	step := 1
+	lo := from
+	for lo+step < n && s[lo+step].Pre <= pre {
+		lo += step
+		step <<= 1
+	}
+	hi := lo + step
+	if hi > n {
+		hi = n
+	}
+	return lo + sort.Search(hi-lo, func(i int) bool { return s[lo+i].Pre > pre })
+}
+
+// hasMatchBelowView is hasMatchBelow against a candidate view, advancing
+// the edge's galloping cursor.
+func hasMatchBelowView(anc xmltree.NodeID, cv *candView, axis pattern.Axis, cur *probeCursor, js *JoinStats) (bool, error) {
+	if cv.ids != nil {
+		j := seekAfter(cv.ids, cur.pos, anc.Pre)
+		cur.pos = j
+		if axis == pattern.Descendant {
+			return j < len(cv.ids) && cv.ids[j].Post < anc.Post, nil
+		}
+		for ; j < len(cv.ids) && cv.ids[j].Post < anc.Post; j++ {
+			if cv.ids[j].Depth == anc.Depth+1 {
+				return true, nil
+			}
+		}
+		return false, nil
+	}
+	return hasMatchBelowSet(anc, cv.set, axis, cur, js)
+}
+
+// hasMatchBelowSet probes a lazy Set block-wise. The block holding the
+// boundary element is located by galloping over headers; descendant probes
+// then often resolve on that block's post range alone, and child probes
+// walk the descendant run skipping fully-contained blocks with no element
+// at the child depth.
+func hasMatchBelowSet(anc xmltree.NodeID, set *idblock.Set, axis pattern.Axis, cur *probeCursor, js *JoinStats) (bool, error) {
+	nb := set.Blocks()
+	bi := cur.block
+	if bi < nb && set.Header(bi).MaxPre <= anc.Pre {
+		step := 1
+		lo := bi
+		for lo+step < nb && set.Header(lo+step).MaxPre <= anc.Pre {
+			lo += step
+			step <<= 1
+		}
+		hi := lo + step
+		if hi > nb {
+			hi = nb
+		}
+		bi = lo + sort.Search(hi-lo, func(i int) bool { return set.Header(lo+i).MaxPre > anc.Pre })
+	}
+	cur.block = bi
+	if bi == nb {
+		return false, nil
+	}
+	if axis == pattern.Descendant {
+		h := set.Header(bi)
+		if h.MinPre > anc.Pre {
+			// Every earlier block precedes anc, so the block's first element
+			// is the boundary element; extreme post ranges decide without
+			// decoding (descendant-contiguity: if the boundary element is not
+			// a descendant, nothing later is).
+			if h.MaxPost < anc.Post {
+				js.BlocksSkipped++
+				return true, nil
+			}
+			if h.MinPost > anc.Post {
+				js.BlocksSkipped++
+				return false, nil
+			}
+		}
+		js.BlocksRead++
+		ids, err := set.Block(bi)
+		if err != nil {
+			return false, err
+		}
+		j := seekAfter(ids, 0, anc.Pre)
+		return j < len(ids) && ids[j].Post < anc.Post, nil
+	}
+	for ; bi < nb; bi++ {
+		h := set.Header(bi)
+		if h.MinPre > anc.Pre {
+			if h.MinPost > anc.Post {
+				// No element of this block is a descendant, and the run is
+				// contiguous: it ended at or before the block boundary.
+				return false, nil
+			}
+			if h.MaxPost < anc.Post && (h.MinDepth > anc.Depth+1 || h.MaxDepth < anc.Depth+1) {
+				// Entirely descendants, none at the child depth.
+				js.BlocksSkipped++
+				continue
+			}
+		}
+		js.BlocksRead++
+		ids, err := set.Block(bi)
+		if err != nil {
+			return false, err
+		}
+		for j := seekAfter(ids, 0, anc.Pre); j < len(ids); j++ {
+			if ids[j].Post >= anc.Post {
+				return false, nil
+			}
+			if ids[j].Depth == anc.Depth+1 {
+				return true, nil
+			}
+		}
+	}
+	return false, nil
+}
+
+// candidatesIndexed computes C(q) bottom-up over blocked sets. pre1
+// restricts the own-element scan to pre rank 1 (Child-axis roots must match
+// the document root) and limit > 0 stops the scan after that many
+// candidates; both apply only to the root call. A nil view means an empty
+// candidate set.
+func candidatesIndexed(q *pattern.Node, st IndexedStreams, js *JoinStats, pre1 bool, limit int) (*candView, error) {
+	own := st[q]
+	if own.Len() == 0 {
+		return nil, nil
+	}
+	if len(q.Children) == 0 && !pre1 {
+		return &candView{set: own, sum: setSummary(own), n: own.Len()}, nil
+	}
+	kids := make([]*candView, len(q.Children))
+	release := func() {
+		for _, kv := range kids {
+			kv.release()
+		}
+	}
+	for i, c := range q.Children {
+		kv, err := candidatesIndexed(c, st, js, false, -1)
+		if err != nil || kv == nil {
+			release()
+			return nil, err
+		}
+		kids[i] = kv
+	}
+	cursors := make([]probeCursor, len(q.Children))
+	pool := streamPool.Get().(*Stream)
+	out := (*pool)[:0]
+scan:
+	for bi := 0; bi < own.Blocks(); bi++ {
+		h := own.Header(bi)
+		if pre1 && (h.MinPre > 1 || h.MaxPre < 1) {
+			js.BlocksSkipped++
+			continue
+		}
+		for i, c := range q.Children {
+			if !blockCanMatch(h, kids[i], c.Axis) {
+				js.BlocksSkipped++
+				continue scan
+			}
+		}
+		js.BlocksRead++
+		ids, err := own.Block(bi)
+		if err != nil {
+			release()
+			*pool = out[:0]
+			streamPool.Put(pool)
+			return nil, err
+		}
+		for _, id := range ids {
+			if pre1 && id.Pre != 1 {
+				continue
+			}
+			ok := true
+			for i, c := range q.Children {
+				m, err := hasMatchBelowView(id, kids[i], c.Axis, &cursors[i], js)
+				if err != nil {
+					release()
+					*pool = out[:0]
+					streamPool.Put(pool)
+					return nil, err
+				}
+				if !m {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				out = append(out, id)
+				if limit > 0 && len(out) >= limit {
+					break scan
+				}
+			}
+		}
+	}
+	release()
+	if len(out) == 0 {
+		*pool = out[:0]
+		streamPool.Put(pool)
+		return nil, nil
+	}
+	*pool = out
+	return &candView{ids: out, pool: pool, sum: streamSummary(out), n: len(out)}, nil
+}
+
+// MatchIndexed decides the same predicate as Match over blocked sets,
+// decoding only the blocks the headers cannot rule out and stopping at the
+// first root candidate. Missing streams are treated as empty; js (optional)
+// accumulates the block-level work.
+func MatchIndexed(t *pattern.Tree, st IndexedStreams, js *JoinStats) (bool, error) {
+	if t == nil || t.Root == nil {
+		return false, nil
+	}
+	if js == nil {
+		js = &JoinStats{}
+	}
+	cv, err := candidatesIndexed(t.Root, st, js, t.Root.Axis == pattern.Child, 1)
+	if err != nil || cv == nil {
+		return false, err
+	}
+	matched := cv.n > 0
+	cv.release()
+	return matched, nil
+}
+
+// CandidatesIndexed returns the same candidate set as Candidates, computed
+// over blocked sets. The returned stream is freshly allocated.
+func CandidatesIndexed(t *pattern.Tree, st IndexedStreams, js *JoinStats) (Stream, error) {
+	if t == nil || t.Root == nil {
+		return nil, nil
+	}
+	if js == nil {
+		js = &JoinStats{}
+	}
+	cv, err := candidatesIndexed(t.Root, st, js, t.Root.Axis == pattern.Child, -1)
+	if err != nil || cv == nil {
+		return nil, err
+	}
+	var out Stream
+	if cv.ids != nil {
+		out = append(out, cv.ids...)
+	} else {
+		all, err := cv.set.All()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, all...)
+	}
+	cv.release()
+	return out, nil
+}
+
+// SemijoinIndexed returns the elements of ancestors having at least one
+// descendant (Child: child) in descendants, like Semijoin but over blocked
+// sets: ancestor blocks are discarded on their headers, survivors decode
+// into a pooled scratch buffer, and the descendant side is probed with a
+// galloping block cursor. Both sets are in pre order; the result preserves
+// it and is freshly allocated.
+func SemijoinIndexed(ancestors, descendants *idblock.Set, axis pattern.Axis, js *JoinStats) (Stream, error) {
+	if js == nil {
+		js = &JoinStats{}
+	}
+	if ancestors.Len() == 0 || descendants.Len() == 0 {
+		return nil, nil
+	}
+	dv := &candView{set: descendants, sum: setSummary(descendants), n: descendants.Len()}
+	var cur probeCursor
+	var out Stream
+	scratch := streamPool.Get().(*Stream)
+	defer func() {
+		*scratch = (*scratch)[:0]
+		streamPool.Put(scratch)
+	}()
+	for bi := 0; bi < ancestors.Blocks(); bi++ {
+		h := ancestors.Header(bi)
+		if !blockCanMatch(h, dv, axis) {
+			js.BlocksSkipped++
+			continue
+		}
+		js.BlocksRead++
+		buf, err := ancestors.AppendBlock([]xmltree.NodeID((*scratch)[:0]), bi)
+		if err != nil {
+			return nil, err
+		}
+		*scratch = Stream(buf)
+		for _, a := range buf {
+			m, err := hasMatchBelowView(a, dv, axis, &cur, js)
+			if err != nil {
+				return nil, err
+			}
+			if m {
+				out = append(out, a)
+			}
+		}
+	}
+	return out, nil
+}
