@@ -9,7 +9,7 @@ COVER_MIN ?= 80.0
 
 # BENCH_ARTIFACT is the checked-in benchmark snapshot this PR sequence
 # tracks; benchcmp diffs a fresh run against it.
-BENCH_ARTIFACT ?= BENCH_6.json
+BENCH_ARTIFACT ?= BENCH_7.json
 
 build:
 	$(GO) build ./...

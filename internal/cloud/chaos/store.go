@@ -26,6 +26,24 @@ func (inj *Injector) kvFault() error {
 	return nil
 }
 
+// straggleFactor draws the straggler decision for one kv read operation,
+// returning the modeled-latency multiplier to apply (1 when the operation
+// is not a straggler). Zero rates draw nothing.
+func (inj *Injector) straggleFactor() float64 {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	if !inj.hit(inj.rates.Straggle) {
+		return 1
+	}
+	inj.counts.Stragglers++
+	inj.note(MetricStragglers)
+	f := inj.rates.StraggleFactor
+	if f < 1 {
+		f = 10
+	}
+	return f
+}
+
 // partialCount draws the partial-batch decision for a batch of n elements.
 // It returns n when the batch should complete, otherwise the number of
 // elements to process — at least 1 and strictly less than n, so a retry
@@ -131,12 +149,19 @@ func (c *Store) BatchPut(table string, items []kv.Item) (time.Duration, error) {
 	return d, &kv.PartialPutError{Unprocessed: rest}
 }
 
-// Get implements kv.Store with injection.
+// Get implements kv.Store with injection. A straggle draw multiplies the
+// modeled latency of a successful read (the tail the hedging layer cuts).
 func (c *Store) Get(table, hashKey string) ([]kv.Item, time.Duration, error) {
-	if err := c.injFor(table).kvFault(); err != nil {
+	inj := c.injFor(table)
+	if err := inj.kvFault(); err != nil {
 		return nil, 0, err
 	}
-	return c.Store.Get(table, hashKey)
+	f := inj.straggleFactor()
+	items, d, err := c.Store.Get(table, hashKey)
+	if f > 1 && err == nil {
+		d = time.Duration(float64(d) * f)
+	}
+	return items, d, err
 }
 
 // BatchGet implements kv.Store with injection. An injected partial outcome
@@ -148,13 +173,21 @@ func (c *Store) BatchGet(table string, hashKeys []string) (map[string][]kv.Item,
 	if err := inj.kvFault(); err != nil {
 		return nil, 0, err
 	}
+	f := inj.straggleFactor()
 	n := inj.partialCount(len(hashKeys))
 	if n >= len(hashKeys) {
-		return c.Store.BatchGet(table, hashKeys)
+		out, d, err := c.Store.BatchGet(table, hashKeys)
+		if f > 1 && err == nil {
+			d = time.Duration(float64(d) * f)
+		}
+		return out, d, err
 	}
 	out, d, err := c.Store.BatchGet(table, hashKeys[:n])
 	if err != nil {
 		return out, d, err
+	}
+	if f > 1 {
+		d = time.Duration(float64(d) * f)
 	}
 	rest := make([]string, len(hashKeys)-n)
 	copy(rest, hashKeys[n:])

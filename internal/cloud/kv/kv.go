@@ -13,9 +13,13 @@
 package kv
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"time"
+
+	"repro/internal/resilience"
 )
 
 // Value is a single attribute value. DynamoDB accepts arbitrary binary
@@ -116,6 +120,98 @@ type PartialGetError struct {
 
 func (e *PartialGetError) Error() string {
 	return fmt.Sprintf("kv: batch get partially served (%d unprocessed keys)", len(e.UnprocessedKeys))
+}
+
+// DegradedError reports a partial scatter-mode read: the listed shards were
+// shed by their circuit breakers, so the listed hash keys are missing from
+// the returned result. Every other shard's data IS present — callers that
+// can serve partial answers should do so and mark them Incomplete rather
+// than fail the whole query on one bad shard.
+type DegradedError struct {
+	// Shards lists the shed shard indexes, ascending.
+	Shards []int
+	// Keys lists the hash keys that were not read, sorted.
+	Keys []string
+}
+
+func (e *DegradedError) Error() string {
+	return fmt.Sprintf("kv: degraded read (%d shards shed, %d keys missing)", len(e.Shards), len(e.Keys))
+}
+
+// AsDegraded returns the DegradedError in err's chain, or nil.
+func AsDegraded(err error) *DegradedError {
+	var de *DegradedError
+	if errors.As(err, &de) {
+		return de
+	}
+	return nil
+}
+
+// sortDegraded normalizes a DegradedError's slices for deterministic
+// reporting.
+func sortDegraded(e *DegradedError) *DegradedError {
+	sort.Ints(e.Shards)
+	sort.Strings(e.Keys)
+	return e
+}
+
+// ContextReader is the optional context-aware read interface of store
+// wrappers (database/sql's QueryerContext pattern: the Store interface
+// stays context-free so every existing implementation keeps compiling,
+// and wrappers that can honor deadlines opt in). The context carries the
+// query's resilience.Budget; implementations stop retrying — and stop
+// charging modeled backoff — once the context is cancelled or the
+// modeled-time budget runs out.
+type ContextReader interface {
+	GetContext(ctx context.Context, table, hashKey string) ([]Item, time.Duration, error)
+	BatchGetContext(ctx context.Context, table string, hashKeys []string) (map[string][]Item, time.Duration, error)
+}
+
+// CheckContext reports the first reason the read path must stop: context
+// cancellation, or an exhausted modeled-time budget (resilience.ErrDeadline).
+// Nil when work may proceed. A nil context always proceeds.
+func CheckContext(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if resilience.FromContext(ctx).Exhausted(0) {
+		return resilience.ErrDeadline
+	}
+	return nil
+}
+
+// GetContext performs a context-aware Get: stores implementing
+// ContextReader get the context threaded through; plain stores get a
+// cancellation/deadline check before the (uninterruptible) call.
+// A nil context means background: no deadline, no budget.
+func GetContext(ctx context.Context, s Store, table, hashKey string) ([]Item, time.Duration, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if cr, ok := s.(ContextReader); ok {
+		return cr.GetContext(ctx, table, hashKey)
+	}
+	if err := CheckContext(ctx); err != nil {
+		return nil, 0, err
+	}
+	return s.Get(table, hashKey)
+}
+
+// BatchGetContext is the batch counterpart of GetContext.
+func BatchGetContext(ctx context.Context, s Store, table string, hashKeys []string) (map[string][]Item, time.Duration, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if cr, ok := s.(ContextReader); ok {
+		return cr.BatchGetContext(ctx, table, hashKeys)
+	}
+	if err := CheckContext(ctx); err != nil {
+		return nil, 0, err
+	}
+	return s.BatchGet(table, hashKeys)
 }
 
 // Limits describes a store's hard limits and capabilities.

@@ -1,12 +1,15 @@
 package kv
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/resilience"
 )
 
 // Retry wraps a store so that transient data-operation failures (throttling
@@ -179,8 +182,38 @@ func (r *Retry) classify(err error) {
 // retry runs op until it succeeds, fails hard, or exhausts attempts,
 // accumulating modeled latency across attempts.
 func (r *Retry) retry(op func() (time.Duration, error)) (time.Duration, error) {
+	return r.retryCtx(context.Background(), op)
+}
+
+// retryCtx is the context-aware retry loop. Beyond the plain loop it
+// honors, per the query's resilience.Budget (carried in ctx):
+//
+//   - cancellation: a cancelled context returns immediately — in
+//     particular, a failure observed after cancellation does NOT charge or
+//     complete the pending backoff wait;
+//   - the modeled deadline: when the next jittered backoff would cross the
+//     budget's deadline, only the remaining headroom is charged and the
+//     loop stops with resilience.ErrDeadline instead of sleeping through
+//     the full wait and re-attempting;
+//   - the shared retry-token pool: each retry consumes one token from the
+//     per-query pool (replacing unbounded per-call attempt budgets); an
+//     empty pool stops with resilience.ErrRetryBudget.
+//
+// With a background context and no budget the loop is step-for-step
+// identical to the historical behaviour, including its jitter draws.
+func (r *Retry) retryCtx(ctx context.Context, op func() (time.Duration, error)) (time.Duration, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	budget := resilience.FromContext(ctx)
 	var total time.Duration
 	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return total, err
+		}
+		if budget.Exhausted(total) {
+			return total, resilience.ErrDeadline
+		}
 		d, err := op()
 		total += d
 		if err == nil {
@@ -194,8 +227,23 @@ func (r *Retry) retry(op func() (time.Duration, error)) (time.Duration, error) {
 			r.bump(&r.stats.gaveUp, MetricGaveUp, 1)
 			return total, err
 		}
+		// Mid-backoff cancellation: return now, charging none of the wait.
+		if err := ctx.Err(); err != nil {
+			return total, err
+		}
+		if !budget.TakeRetry() {
+			r.bump(&r.stats.gaveUp, MetricGaveUp, 1)
+			return total, fmt.Errorf("%w (last transient error: %v)", resilience.ErrRetryBudget, err)
+		}
+		b := r.backoff(attempt)
+		if rem, ok := budget.Headroom(total); ok && b > rem {
+			// The modeled deadline lands inside this backoff: charge only
+			// the slice up to the deadline and stop.
+			total += rem
+			return total, resilience.ErrDeadline
+		}
 		r.bump(&r.stats.retries, MetricRetries, 1)
-		total += r.backoff(attempt)
+		total += b
 	}
 }
 
@@ -248,8 +296,14 @@ func (r *Retry) DeleteItem(table, hashKey, rangeKey string) (time.Duration, erro
 
 // Get implements Store with retries.
 func (r *Retry) Get(table, hashKey string) ([]Item, time.Duration, error) {
+	return r.GetContext(context.Background(), table, hashKey)
+}
+
+// GetContext implements ContextReader: a Get whose retry loop honors the
+// context's cancellation and modeled-time budget (see retryCtx).
+func (r *Retry) GetContext(ctx context.Context, table, hashKey string) ([]Item, time.Duration, error) {
 	var items []Item
-	d, err := r.retry(func() (time.Duration, error) {
+	d, err := r.retryCtx(ctx, func() (time.Duration, error) {
 		var d time.Duration
 		var err error
 		items, d, err = r.Store.Get(table, hashKey)
@@ -261,10 +315,26 @@ func (r *Retry) Get(table, hashKey string) ([]Item, time.Duration, error) {
 // BatchGet implements Store with retries. A partial outcome re-fetches only
 // the unprocessed keys and merges; progress refreshes the attempt budget.
 func (r *Retry) BatchGet(table string, hashKeys []string) (map[string][]Item, time.Duration, error) {
+	return r.BatchGetContext(context.Background(), table, hashKeys)
+}
+
+// BatchGetContext implements ContextReader; cancellation, deadline and
+// retry-token semantics match retryCtx.
+func (r *Retry) BatchGetContext(ctx context.Context, table string, hashKeys []string) (map[string][]Item, time.Duration, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	budget := resilience.FromContext(ctx)
 	var total time.Duration
 	merged := make(map[string][]Item, len(hashKeys))
 	pending := hashKeys
 	for attempt := 0; ; {
+		if err := ctx.Err(); err != nil {
+			return nil, total, err
+		}
+		if budget.Exhausted(total) {
+			return nil, total, resilience.ErrDeadline
+		}
 		out, d, err := r.Store.BatchGet(table, pending)
 		total += d
 		for k, v := range out {
@@ -274,12 +344,14 @@ func (r *Retry) BatchGet(table string, hashKeys []string) (map[string][]Item, ti
 			return merged, total, nil
 		}
 		var pe *PartialGetError
+		progress := false
 		switch {
 		case errors.As(err, &pe):
 			r.bump(&r.stats.partialBatches, MetricPartialBatches, 1)
 			r.bump(&r.stats.keysRefetc, MetricKeysRefetched, int64(len(pe.UnprocessedKeys)))
 			if len(pe.UnprocessedKeys) < len(pending) {
 				attempt = 0 // progress refreshes the budget
+				progress = true
 			} else {
 				attempt++
 			}
@@ -294,8 +366,23 @@ func (r *Retry) BatchGet(table string, hashKeys []string) (map[string][]Item, ti
 			r.bump(&r.stats.gaveUp, MetricGaveUp, 1)
 			return nil, total, err
 		}
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, total, cerr
+		}
+		// A partial batch that made progress resubmits a strictly smaller
+		// remainder, so it terminates without drawing on the shared pool;
+		// only zero-progress and transient retries consume tokens.
+		if !progress && !budget.TakeRetry() {
+			r.bump(&r.stats.gaveUp, MetricGaveUp, 1)
+			return nil, total, fmt.Errorf("%w (last transient error: %v)", resilience.ErrRetryBudget, err)
+		}
+		b := r.backoff(attempt)
+		if rem, ok := budget.Headroom(total); ok && b > rem {
+			total += rem
+			return nil, total, resilience.ErrDeadline
+		}
 		r.bump(&r.stats.retries, MetricRetries, 1)
-		total += r.backoff(attempt)
+		total += b
 	}
 }
 

@@ -1,12 +1,15 @@
 package kv
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/resilience"
 )
 
 // This file implements the hash-partitioned sharding layer. DynamoDB
@@ -149,6 +152,29 @@ func AsShardRouter(s Store) ShardRouter {
 	return nil
 }
 
+// HedgeStatsSource is implemented by stores that hedge straggling reads;
+// look-up code uses it to annotate spans with the hedges fired while
+// serving a read, without depending on the concrete type.
+type HedgeStatsSource interface {
+	HedgeStats() resilience.HedgeStats
+}
+
+// AsHedgeStatsSource unwraps the store stack until it finds a
+// HedgeStatsSource, or returns nil.
+func AsHedgeStatsSource(s Store) HedgeStatsSource {
+	for s != nil {
+		if h, ok := s.(HedgeStatsSource); ok {
+			return h
+		}
+		u, ok := s.(Unwrapper)
+		if !ok {
+			return nil
+		}
+		s = u.Unwrap()
+	}
+	return nil
+}
+
 // ShardPutMetric and ShardGetMetric name the per-shard counters a Sharded
 // streams to its Sink: items written to and keys read from shard k.
 func ShardPutMetric(shard int) string {
@@ -160,6 +186,14 @@ func ShardGetMetric(shard int) string {
 	return "kv.shard." + strconv.Itoa(shard) + ".get_keys"
 }
 
+// ShardErrorMetric names the per-shard failure counter: scatter-mode calls
+// count EVERY failing shard here, even though only the lowest-indexed
+// shard's error surfaces to the caller (the deterministic combining rule),
+// so the other shards' failures stay visible in obs.
+func ShardErrorMetric(shard int) string {
+	return "kv.shard." + strconv.Itoa(shard) + ".errors"
+}
+
 // Sharded partitions every logical table across N shards behind the Store
 // interface. See the file comment for the two construction modes. It is
 // safe for concurrent use if its backing store(s) are.
@@ -169,19 +203,35 @@ type Sharded struct {
 	n      int
 
 	// Sink, when non-nil, receives the per-shard traffic counters
-	// (ShardPutMetric / ShardGetMetric). Set before the store is shared.
+	// (ShardPutMetric / ShardGetMetric / ShardErrorMetric). Set before the
+	// store is shared.
 	Sink CounterSink
+
+	// Hedger, when non-nil, hedges scatter-mode reads: a shard whose
+	// primary modeled latency exceeds the hedger's quantile delay re-issues
+	// the read and the modeled first response wins. Only meaningful in
+	// scatter mode (partition-mode "shards" share one store, so a hedge
+	// could never be faster). Set before the store is shared.
+	Hedger *resilience.Hedger
+
+	// Breakers, when non-nil, guards scatter-mode reads per shard: an open
+	// breaker sheds its shard's slice of the fan-out and the call returns a
+	// partial result with a DegradedError instead of failing. Set before
+	// the store is shared.
+	Breakers *resilience.BreakerSet
 
 	// Metric names resolved once at construction, so the data path does no
 	// formatting.
 	putMetrics []string
 	getMetrics []string
+	errMetrics []string
 }
 
 var (
-	_ Store       = (*Sharded)(nil)
-	_ ShardRouter = (*Sharded)(nil)
-	_ Dumper      = (*Sharded)(nil)
+	_ Store         = (*Sharded)(nil)
+	_ ShardRouter   = (*Sharded)(nil)
+	_ Dumper        = (*Sharded)(nil)
+	_ ContextReader = (*Sharded)(nil)
 )
 
 // NewSharded returns a partition-mode sharding layer over base: logical
@@ -209,16 +259,22 @@ func NewShardedStores(stores []Store) *Sharded {
 
 func newSharded(base Store, stores []Store, n int) *Sharded {
 	s := &Sharded{base: base, stores: stores, n: n,
-		putMetrics: make([]string, n), getMetrics: make([]string, n)}
+		putMetrics: make([]string, n), getMetrics: make([]string, n),
+		errMetrics: make([]string, n)}
 	for k := 0; k < n; k++ {
 		s.putMetrics[k] = ShardPutMetric(k)
 		s.getMetrics[k] = ShardGetMetric(k)
+		s.errMetrics[k] = ShardErrorMetric(k)
 	}
 	return s
 }
 
 // ShardCount implements ShardRouter.
 func (s *Sharded) ShardCount() int { return s.n }
+
+// HedgeStats implements HedgeStatsSource: a snapshot of the hedging
+// counters, zero when no Hedger is configured.
+func (s *Sharded) HedgeStats() resilience.HedgeStats { return s.Hedger.Stats() }
 
 // ShardOf implements ShardRouter.
 func (s *Sharded) ShardOf(hashKey string) int { return ShardIndex(hashKey, s.n) }
@@ -251,6 +307,12 @@ func (s *Sharded) notePut(k int, items int) {
 func (s *Sharded) noteGet(k int, keys int) {
 	if s.Sink != nil {
 		s.Sink.Add(s.getMetrics[k], int64(keys))
+	}
+}
+
+func (s *Sharded) noteErr(k int) {
+	if s.Sink != nil {
+		s.Sink.Add(s.errMetrics[k], 1)
 	}
 }
 
@@ -313,9 +375,47 @@ func (s *Sharded) Put(table string, item Item) (time.Duration, error) {
 
 // Get implements Store.
 func (s *Sharded) Get(table, hashKey string) ([]Item, time.Duration, error) {
+	return s.GetContext(context.Background(), table, hashKey)
+}
+
+// GetContext implements ContextReader, threading the context to the shard
+// store. In scatter mode the resilience hooks engage: an open breaker sheds
+// the read (DegradedError) and a straggling primary is hedged, keeping the
+// modeled first response.
+func (s *Sharded) GetContext(ctx context.Context, table, hashKey string) ([]Item, time.Duration, error) {
 	k := s.ShardOf(hashKey)
 	s.noteGet(k, 1)
-	return s.shardStore(k).Get(s.shardTable(table, k), hashKey)
+	st, tbl := s.shardStore(k), s.shardTable(table, k)
+	if !s.scatter() {
+		return GetContext(ctx, st, tbl, hashKey)
+	}
+	if s.Breakers != nil && !s.Breakers.Allow(k) {
+		return nil, 0, sortDegraded(&DegradedError{Shards: []int{k}, Keys: []string{hashKey}})
+	}
+	var delay time.Duration
+	hedge := false
+	if s.Hedger != nil {
+		delay, hedge = s.Hedger.Delay()
+	}
+	items, d, err := GetContext(ctx, st, tbl, hashKey)
+	if err != nil {
+		s.Breakers.Failure(k)
+		s.noteErr(k)
+		return nil, d, err
+	}
+	s.Breakers.Success(k)
+	s.Hedger.Observe(k, d)
+	if hedge && d > delay {
+		s.Hedger.NoteFired()
+		items2, d2, err2 := GetContext(ctx, st, tbl, hashKey)
+		if err2 == nil && delay+d2 < d {
+			s.Hedger.NoteWon()
+			items, d = items2, delay+d2
+		} else {
+			s.Hedger.NoteWasted()
+		}
+	}
+	return items, d, nil
 }
 
 // DeleteItem implements Store.
@@ -372,12 +472,18 @@ func (s *Sharded) BatchPut(table string, items []Item) (time.Duration, error) {
 		}
 		return total, nil
 	}
-	return s.scatterRun(func(k int) (time.Duration, error) {
+	ops := make([]func() (time.Duration, error), s.n)
+	for k := 0; k < s.n; k++ {
 		if len(groups[k]) == 0 {
-			return 0, nil
+			continue
 		}
-		return s.stores[k].BatchPut(table, groups[k])
-	})
+		k := k
+		ops[k] = func() (time.Duration, error) {
+			return s.stores[k].BatchPut(table, groups[k])
+		}
+	}
+	d, _, err := s.scatterRun(false, ops)
+	return d, err
 }
 
 // BatchGet implements Store: keys are grouped per shard and the per-shard
@@ -385,6 +491,15 @@ func (s *Sharded) BatchPut(table string, items []Item) (time.Duration, error) {
 // exactly one shard, so the merge is disjoint). The request structure
 // mirrors BatchPut's three cases.
 func (s *Sharded) BatchGet(table string, hashKeys []string) (map[string][]Item, time.Duration, error) {
+	return s.BatchGetContext(context.Background(), table, hashKeys)
+}
+
+// BatchGetContext implements ContextReader. In scatter mode the fan-out
+// runs under the resilience hooks (hedging, breakers); shed shards degrade
+// the call to a partial result map returned WITH a *DegradedError listing
+// the missing keys, so callers can serve what arrived and mark the answer
+// incomplete.
+func (s *Sharded) BatchGetContext(ctx context.Context, table string, hashKeys []string) (map[string][]Item, time.Duration, error) {
 	groups := make([][]string, s.n)
 	for _, key := range hashKeys {
 		k := s.ShardOf(key)
@@ -398,6 +513,9 @@ func (s *Sharded) BatchGet(table string, hashKeys []string) (map[string][]Item, 
 	out := make(map[string][]Item, len(hashKeys))
 	if !s.scatter() {
 		if ms, ok := s.base.(MultiStore); ok {
+			if err := CheckContext(ctx); err != nil {
+				return nil, 0, err
+			}
 			var multi []TableKeys
 			for k, g := range groups {
 				if len(g) > 0 {
@@ -420,7 +538,7 @@ func (s *Sharded) BatchGet(table string, hashKeys []string) (map[string][]Item, 
 			if len(g) == 0 {
 				continue
 			}
-			m, d, err := s.base.BatchGet(s.shardTable(table, k), g)
+			m, d, err := BatchGetContext(ctx, s.base, s.shardTable(table, k), g)
 			total += d
 			if err != nil {
 				return nil, total, err
@@ -432,39 +550,101 @@ func (s *Sharded) BatchGet(table string, hashKeys []string) (map[string][]Item, 
 		return out, total, nil
 	}
 	var mu sync.Mutex
-	d, err := s.scatterRun(func(k int) (time.Duration, error) {
+	ops := make([]func() (time.Duration, error), s.n)
+	for k := 0; k < s.n; k++ {
 		if len(groups[k]) == 0 {
-			return 0, nil
+			continue
 		}
-		m, d, err := s.stores[k].BatchGet(table, groups[k])
-		if err != nil {
-			return d, err
+		k := k
+		ops[k] = func() (time.Duration, error) {
+			m, d, err := BatchGetContext(ctx, s.stores[k], table, groups[k])
+			if err != nil {
+				return d, err
+			}
+			mu.Lock()
+			for key, its := range m {
+				out[key] = its
+			}
+			mu.Unlock()
+			return d, nil
 		}
-		mu.Lock()
-		for key, its := range m {
-			out[key] = its
-		}
-		mu.Unlock()
-		return d, nil
-	})
+	}
+	d, shed, err := s.scatterRun(true, ops)
 	if err != nil {
 		return nil, d, err
+	}
+	if len(shed) > 0 {
+		de := &DegradedError{Shards: shed}
+		for _, k := range shed {
+			de.Keys = append(de.Keys, groups[k]...)
+		}
+		return out, d, sortDegraded(de)
 	}
 	return out, d, nil
 }
 
-// scatterRun fans op over all shards concurrently and combines: duration is
-// the maximum over shards (the scatter-gather wall clock), the error is the
-// lowest-indexed shard's failure so reruns report deterministically.
-func (s *Sharded) scatterRun(op func(k int) (time.Duration, error)) (time.Duration, error) {
+// scatterRun fans the per-shard ops out concurrently (nil entries are
+// shards with no work) and combines: duration is the maximum over shards
+// (the scatter-gather wall clock), the returned error is the lowest-indexed
+// shard's failure so reruns report deterministically — but EVERY failing
+// shard counts on its kv.shard.K.errors counter, keeping the other shards'
+// failures visible in obs.
+//
+// For read fan-outs (read=true) the resilience hooks engage:
+//
+//   - Breakers: a shard whose breaker is open is shed — its op never runs,
+//     it contributes zero duration, and its index lands in the shed list so
+//     the caller can degrade to a partial result.
+//   - Hedger: the hedge delay is computed ONCE before the fan-out (so every
+//     shard of a call sees the same threshold, a deterministic sequential
+//     point). A shard whose primary modeled latency d1 exceeds the delay
+//     re-issues its op — reads are idempotent, and re-merging the same keys
+//     is a no-op — and the call keeps the modeled first response:
+//     min(d1, delay+d2), the loser being "cancelled". Both requests really
+//     hit the store and are billed; the fired/won/wasted counters account
+//     the overhead, and hedge durations are never fed back into the
+//     hedger's latency window.
+func (s *Sharded) scatterRun(read bool, ops []func() (time.Duration, error)) (time.Duration, []int, error) {
 	durations := make([]time.Duration, s.n)
 	errs := make([]error, s.n)
+	shedv := make([]bool, s.n)
+	var delay time.Duration
+	hedge := false
+	if read && s.Hedger != nil {
+		delay, hedge = s.Hedger.Delay()
+	}
 	var wg sync.WaitGroup
 	for k := 0; k < s.n; k++ {
+		if ops[k] == nil {
+			continue
+		}
+		if read && s.Breakers != nil && !s.Breakers.Allow(k) {
+			shedv[k] = true
+			continue
+		}
 		wg.Add(1)
 		go func(k int) {
 			defer wg.Done()
-			durations[k], errs[k] = op(k)
+			d, err := ops[k]()
+			if read {
+				if err != nil {
+					s.Breakers.Failure(k)
+				} else {
+					s.Breakers.Success(k)
+					s.Hedger.Observe(k, d)
+					if hedge && d > delay {
+						s.Hedger.NoteFired()
+						d2, err2 := ops[k]() // hedge: re-issue the idempotent read
+						if err2 == nil && delay+d2 < d {
+							s.Hedger.NoteWon()
+							d = delay + d2 // first response wins
+						} else {
+							s.Hedger.NoteWasted() // extra bill, no latency won
+						}
+					}
+				}
+			}
+			durations[k], errs[k] = d, err
 		}(k)
 	}
 	wg.Wait()
@@ -474,12 +654,22 @@ func (s *Sharded) scatterRun(op func(k int) (time.Duration, error)) (time.Durati
 			max = d
 		}
 	}
-	for _, err := range errs {
-		if err != nil {
-			return max, err
+	var shed []int
+	for k, v := range shedv {
+		if v {
+			shed = append(shed, k)
 		}
 	}
-	return max, nil
+	var first error
+	for k, err := range errs {
+		if err != nil {
+			s.noteErr(k)
+			if first == nil {
+				first = err
+			}
+		}
+	}
+	return max, shed, first
 }
 
 // TableBytes implements Store, summing over shards.

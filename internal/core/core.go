@@ -24,6 +24,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -39,6 +40,7 @@ import (
 	"repro/internal/index"
 	"repro/internal/meter"
 	"repro/internal/obs"
+	"repro/internal/resilience"
 )
 
 // Names of the warehouse's cloud resources.
@@ -191,6 +193,28 @@ type Config struct {
 	// sharding differential tests assert this byte-for-byte.
 	IndexShards int
 
+	// QueryDeadline bounds each query's modeled index-read time: once a
+	// query has charged this much modeled store latency (successful reads
+	// and retry backoffs alike), its remaining reads stop — a backoff that
+	// would overshoot the deadline is cut at the boundary — and the query
+	// fails with resilience.ErrDeadline. 0 (the default) disables the
+	// deadline; queries then behave exactly as before.
+	QueryDeadline time.Duration
+	// QueryRetryBudget caps the store-level retries one query may consume
+	// across ALL of its index reads: a shared token pool replaces the
+	// per-call attempt count, so a query scattering over many shards cannot
+	// multiply its worst-case retry work. 0 (the default) keeps per-call
+	// attempts unlimited by the pool (kv.Retry's MaxAttempts still applies
+	// per call).
+	QueryRetryBudget int
+	// CoalesceLookups single-flights concurrent identical index fetches
+	// across query workers: a cache-fill stampede on a hot posting issues
+	// one billed store read shared by every waiting query. Like the posting
+	// cache this changes the billed quantities of overlapping look-ups
+	// (coalesced keys cost no GetOps), so it is off by default and the
+	// paper-reproduction experiments run without it.
+	CoalesceLookups bool
+
 	// Chaos, when set, interposes the seeded fault-injection layer between
 	// the warehouse and all three cloud services — throttling, transient
 	// errors and partial batches on the index store; duplicate delivery and
@@ -241,6 +265,10 @@ type Warehouse struct {
 	lookupOpts    index.LookupOptions
 	cache         *index.PostingCache
 
+	queryDeadline time.Duration
+	queryRetries  int
+	flight        *resilience.Group
+
 	bulkLoad       bool
 	bulkFlushItems int
 	bulkFlushDocs  int
@@ -288,6 +316,9 @@ type coreMetrics struct {
 	lookupTwigCandidates *obs.Counter
 	lookupStoreRetries   *obs.Counter
 	lookupGetTimeNS      *obs.Counter
+	lookupCoalescedKeys  *obs.Counter
+	lookupDegradedKeys   *obs.Counter
+	lookupIncomplete     *obs.Counter
 	cacheHits            *obs.Counter
 	cacheMisses          *obs.Counter
 	cacheEvictions       *obs.Counter
@@ -319,6 +350,9 @@ func resolveMetrics(r *obs.Registry) coreMetrics {
 		lookupTwigCandidates: r.Counter("index.lookup.twig_candidates"),
 		lookupStoreRetries:   r.Counter("index.lookup.store_retries"),
 		lookupGetTimeNS:      r.Counter("index.lookup.get_time_ns"),
+		lookupCoalescedKeys:  r.Counter("index.lookup.coalesced_keys"),
+		lookupDegradedKeys:   r.Counter("index.lookup.degraded_keys"),
+		lookupIncomplete:     r.Counter("index.lookup.incomplete"),
 		cacheHits:            r.Counter("index.cache.hits"),
 		cacheMisses:          r.Counter("index.cache.misses"),
 		cacheEvictions:       r.Counter("index.cache.evictions"),
@@ -363,6 +397,8 @@ func New(cfg Config) (*Warehouse, error) {
 		Perf:           cfg.Perf.withDefaults(),
 		compressPaths:  cfg.CompressPaths,
 		queryWorkers:   cfg.QueryWorkers,
+		queryDeadline:  cfg.QueryDeadline,
+		queryRetries:   cfg.QueryRetryBudget,
 		lookupOpts:     index.LookupOptions{Concurrency: cfg.QueryLookupConcurrency},
 		bulkLoad:       cfg.BulkLoad,
 		bulkFlushItems: cfg.BulkFlushItems,
@@ -379,6 +415,11 @@ func New(cfg Config) (*Warehouse, error) {
 		met:            resolveMetrics(reg),
 	}
 	w.lookupOpts.Joins = &w.met.joins
+	if cfg.CoalesceLookups {
+		w.flight = resilience.NewGroup()
+		w.flight.Sink = reg
+		w.lookupOpts.Flight = w.flight
+	}
 	if cfg.Trace {
 		w.tracer = obs.NewTracer(ledger, cfg.TraceCapacity)
 	}
@@ -513,6 +554,22 @@ func (w *Warehouse) LookupTotals() index.LookupStats {
 		CacheMisses:    w.met.cacheMisses.Value(),
 		CacheEvictions: w.met.cacheEvictions.Value(),
 		StoreRetries:   w.met.lookupStoreRetries.Value(),
+		CoalescedKeys:  w.met.lookupCoalescedKeys.Value(),
+		DegradedKeys:   w.met.lookupDegradedKeys.Value(),
+		Incomplete:     w.met.lookupIncomplete.Value() > 0,
+	}
+}
+
+// CoalesceStats reports the single-flight coalescing counters (zero value
+// when Config.CoalesceLookups is off). Like ChaosCounts it is a registry
+// view: the flight group streams its counters into the registry.
+func (w *Warehouse) CoalesceStats() resilience.GroupStats {
+	if w.flight == nil {
+		return resilience.GroupStats{}
+	}
+	return resilience.GroupStats{
+		Hits:    w.reg.Counter(resilience.MetricCoalesceHits).Value(),
+		Leaders: w.reg.Counter(resilience.MetricCoalesceLeaders).Value(),
 	}
 }
 
@@ -585,9 +642,29 @@ func (w *Warehouse) noteLookup(lst index.LookupStats) {
 	w.met.lookupTwigCandidates.Add(int64(lst.TwigCandidates))
 	w.met.lookupStoreRetries.Add(lst.StoreRetries)
 	w.met.lookupGetTimeNS.Add(int64(lst.GetTime))
+	w.met.lookupCoalescedKeys.Add(lst.CoalescedKeys)
+	w.met.lookupDegradedKeys.Add(lst.DegradedKeys)
+	if lst.Incomplete {
+		w.met.lookupIncomplete.Inc()
+	}
 	w.met.cacheHits.Add(lst.CacheHits)
 	w.met.cacheMisses.Add(lst.CacheMisses)
 	w.met.cacheEvictions.Add(lst.CacheEvictions)
+}
+
+// queryContext builds one query's context, carrying its fresh modeled-time
+// and retry budget, or returns nil when neither tail-latency bound is
+// configured — the look-up then runs the exact historical path with no
+// budget bookkeeping at all.
+func (w *Warehouse) queryContext() context.Context {
+	if w.queryDeadline <= 0 && w.queryRetries <= 0 {
+		return nil
+	}
+	tokens := -1 // unlimited unless a pool is configured
+	if w.queryRetries > 0 {
+		tokens = w.queryRetries
+	}
+	return resilience.NewContext(context.Background(), resilience.NewBudget(w.queryDeadline, tokens))
 }
 
 // docWorkers is the effective step-13 worker-pool size.

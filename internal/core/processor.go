@@ -62,6 +62,12 @@ type QueryStats struct {
 	DocIDsFromIndex int
 	DocsFetched     int
 
+	// Incomplete marks a degraded answer: one or more index shards were
+	// shed by their circuit breakers during the look-up, so the result is a
+	// lower bound — documents whose postings lived on the shed shards may
+	// be missing. Lookup.DegradedKeys counts the keys that were not read.
+	Incomplete bool
+
 	ResultRows  int
 	ResultBytes int64
 
@@ -120,6 +126,10 @@ func (w *Warehouse) processQuery(in *ec2.Instance, msg queryMessage, parent *obs
 		lsp := sp.Child(obs.SpanLookup)
 		lopts := w.lookupOpts
 		lopts.Span = lsp
+		// Each query gets a fresh modeled-time/retry budget (nil when no
+		// deadline or retry pool is configured); the look-up charges its
+		// store latencies against it and stops once it is spent.
+		lopts.Ctx = w.queryContext()
 		sets, lst, err := index.LookupQuery(w.store, w.Strategy, q, lopts)
 		if err != nil {
 			lsp.SetError(err)
@@ -129,6 +139,7 @@ func (w *Warehouse) processQuery(in *ec2.Instance, msg queryMessage, parent *obs
 		perPattern = sets
 		stats.GetOps = lst.GetOps
 		stats.LookupGetTime = lst.GetTime
+		stats.Incomplete = lst.Incomplete
 		stats.PlanTime = in.ComputeDuration(lst.BytesFetched, w.Perf.PlanBytesPerECUSec)
 		stats.Lookup = lst
 		in.RunOn(0, lst.GetTime+stats.PlanTime)
@@ -399,6 +410,12 @@ func (w *Warehouse) RunQueryOn(in *ec2.Instance, queryText string, useIndex bool
 	}
 	if perr != nil {
 		root.SetError(perr)
+		// Consume the error response as the front end would; leaving it
+		// queued would pair it with the NEXT query's fetch and poison every
+		// later answer on this warehouse.
+		if rm, _, err := w.queues.Receive(ResponseQueue, time.Minute); err == nil && rm != nil {
+			w.queues.Delete(ResponseQueue, rm.Receipt)
+		}
 		return nil, stats, fmt.Errorf("%w: %v", ErrQueryFailed, perr)
 	}
 

@@ -1,6 +1,7 @@
 package index
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -10,6 +11,7 @@ import (
 	"repro/internal/cloud/kv"
 	"repro/internal/obs"
 	"repro/internal/pattern"
+	"repro/internal/resilience"
 	"repro/internal/twigjoin"
 	"repro/internal/xmltree"
 )
@@ -52,6 +54,17 @@ type LookupStats struct {
 	// degradation (throttling, injected chaos) that the result itself hides;
 	// exact for a single-reader store, advisory under concurrent readers.
 	StoreRetries int64
+	// CoalescedKeys counts index keys served by joining another in-flight
+	// identical fetch instead of issuing a billed request (single-flight
+	// coalescing; zero unless LookupOptions.Flight is set).
+	CoalescedKeys int64
+	// DegradedKeys counts index keys skipped because their shards were shed
+	// by an open circuit breaker, and Incomplete marks the look-up's URI
+	// list as a lower bound: documents whose postings lived on shed shards
+	// may be missing. Complete look-ups always have Incomplete false, so
+	// callers can serve degraded answers explicitly instead of failing.
+	DegradedKeys int64
+	Incomplete   bool
 }
 
 func (s *LookupStats) add(o LookupStats) {
@@ -63,6 +76,9 @@ func (s *LookupStats) add(o LookupStats) {
 	s.CacheMisses += o.CacheMisses
 	s.CacheEvictions += o.CacheEvictions
 	s.StoreRetries += o.StoreRetries
+	s.CoalescedKeys += o.CoalescedKeys
+	s.DegradedKeys += o.DegradedKeys
+	s.Incomplete = s.Incomplete || o.Incomplete
 }
 
 // statsFromRead folds a ReadKeys summary into look-up statistics.
@@ -75,6 +91,9 @@ func statsFromRead(rs ReadStats) LookupStats {
 		CacheMisses:    rs.CacheMisses,
 		CacheEvictions: rs.CacheEvictions,
 		StoreRetries:   rs.StoreRetries,
+		CoalescedKeys:  rs.CoalescedKeys,
+		DegradedKeys:   rs.DegradedKeys,
+		Incomplete:     rs.Incomplete,
 	}
 }
 
@@ -99,6 +118,20 @@ type LookupOptions struct {
 	// operate-on-compressed kernels (blocks read / blocks skipped /
 	// containers intersected). A nil Joins makes every update a no-op.
 	Joins *JoinCounters
+	// Ctx, when non-nil, carries cancellation — and, via
+	// resilience.NewContext, the query's modeled-time/retry budget —
+	// through every store read and join kernel. A look-up stops with
+	// context.Canceled/DeadlineExceeded or resilience.ErrDeadline as soon
+	// as the context is done or the budget's modeled deadline is spent; the
+	// store latencies it accumulates are charged to the budget. A nil Ctx
+	// (the default) never cancels and charges nothing.
+	Ctx context.Context
+	// Flight, when non-nil, coalesces concurrent identical index fetches
+	// across look-ups (single-flight): a cache-fill stampede on a hot key
+	// collapses to one billed store read whose decoded postings every
+	// waiter shares. Like Cache, the same group must not front two
+	// different stores.
+	Flight *resilience.Group
 }
 
 // resolveLookup flattens the optional trailing options of the exported
@@ -264,10 +297,21 @@ func readKeysSpanned(store kv.Store, table string, keys []string, kind PostingKi
 	get := opt.Span.Child(obs.SpanIndexGet)
 	get.SetAttr("table", table)
 	get.SetAttrInt("keys", int64(len(keys)))
+	hsrc := kv.AsHedgeStatsSource(store)
+	var hs0 resilience.HedgeStats
+	if hsrc != nil {
+		hs0 = hsrc.HedgeStats()
+	}
 	postings, rs, err := ReadKeys(store, table, keys, kind, binaryIDs, opt)
 	get.SetModeled(rs.GetTime)
 	get.SetAttrInt("get_ops", rs.GetOps)
 	get.SetAttrInt("bytes", rs.Bytes)
+	if rs.CoalescedKeys > 0 {
+		get.SetAttrInt("coalesced_keys", rs.CoalescedKeys)
+	}
+	if rs.Incomplete {
+		get.SetAttrInt("degraded_keys", rs.DegradedKeys)
+	}
 	if rt := kv.AsShardRouter(store); rt != nil && rt.ShardCount() > 1 {
 		// Annotate the scatter-gather fan-out: how the fetched keys spread
 		// over the store's partitions. The child span carries the same
@@ -292,6 +336,14 @@ func readKeysSpanned(store kv.Store, table string, keys []string, kind PostingKi
 		}
 		sc.SetAttrInt("shards_touched", int64(touched))
 		sc.SetAttrInt("max_shard_keys", maxKeys)
+		if hsrc != nil {
+			// The hedges fired while serving this read (delta against the
+			// store-lifetime counters; approximate under concurrent reads,
+			// whose hedges land in whichever read is in flight).
+			hs := hsrc.HedgeStats()
+			sc.SetAttrInt("hedge_fired", hs.Fired-hs0.Fired)
+			sc.SetAttrInt("hedge_won", hs.Won-hs0.Won)
+		}
 		sc.SetModeled(rs.GetTime)
 		sc.SetError(err)
 		sc.End()
@@ -384,6 +436,11 @@ func lookupLUI(store kv.Store, table string, aug *augmented, reduce map[string]b
 		ordered = kept
 	}
 	stats.TwigCandidates = len(ordered)
+	// The reads above charged their modeled latency to the query budget;
+	// stop before the CPU-side joins if it is now spent.
+	if err := kv.CheckContext(opt.Ctx); err != nil {
+		return nil, stats, err
+	}
 	tj := opt.Span.Child(obs.SpanTwigJoin)
 	tj.SetAttrInt("candidates", int64(len(ordered)))
 
@@ -410,7 +467,7 @@ func lookupLUI(store kv.Store, table string, aug *augmented, reduce map[string]b
 		if !ok {
 			return
 		}
-		matched[ci], errs[ci] = twigjoin.MatchIndexed(aug.tree, streams, &joinStats[ci])
+		matched[ci], errs[ci] = twigjoin.MatchIndexedCtx(opt.Ctx, aug.tree, streams, &joinStats[ci])
 	}
 	if workers := min(opt.workers(), len(ordered)); workers <= 1 {
 		for ci := range ordered {

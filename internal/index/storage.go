@@ -8,12 +8,15 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/cloud/kv"
 	"repro/internal/idblock"
+	"repro/internal/resilience"
 	"repro/internal/xmltree"
 )
 
@@ -378,6 +381,16 @@ type ReadStats struct {
 	// number is exact for a store serving one reader and advisory under
 	// concurrent readers, whose retries land in whichever read is in flight.
 	StoreRetries int64
+	// CoalescedKeys counts keys served by joining another in-flight
+	// identical fetch (single-flight coalescing, LookupOptions.Flight): the
+	// waiters share the leader's decoded postings and modeled latency but
+	// bill no request and fetch no bytes.
+	CoalescedKeys int64
+	// DegradedKeys counts keys that were not read because their shards were
+	// shed by an open circuit breaker; Incomplete marks the result as a
+	// lower bound — the missing keys simply have no postings in it.
+	DegradedKeys int64
+	Incomplete   bool
 }
 
 // ReadKeys batch-fetches several hash keys and returns per-key postings.
@@ -389,6 +402,15 @@ type ReadStats struct {
 // chunk order, and key sets of distinct chunks are disjoint.
 func ReadKeys(store kv.Store, table string, keys []string, kind PostingKind, binaryIDs bool, opts ...LookupOptions) (out map[string]map[string]*Posting, rs ReadStats, err error) {
 	opt := resolveLookup(opts)
+	if err := kv.CheckContext(opt.Ctx); err != nil {
+		return nil, rs, err
+	}
+	// The query's modeled-time budget is charged once, on exit, with the
+	// summed store latency: chunks never observe each other's charges, so
+	// the read's outcome is identical at any Concurrency level.
+	defer func() {
+		resilience.FromContext(opt.Ctx).Charge(rs.GetTime)
+	}()
 	retrySrc, _ := store.(kv.RetryStatsSource)
 	var retriesBefore int64
 	if retrySrc != nil {
@@ -414,7 +436,6 @@ func ReadKeys(store kv.Store, table string, keys []string, kind PostingKind, bin
 			}
 		}
 	}
-	rs.GetOps = int64(len(fetch))
 	if len(fetch) == 0 {
 		return out, rs, nil
 	}
@@ -425,10 +446,14 @@ func ReadKeys(store kv.Store, table string, keys []string, kind PostingKind, bin
 	}
 	chunks := (len(fetch) + lim - 1) / lim
 	type chunkResult struct {
-		postings map[string]map[string]*Posting
-		d        time.Duration
-		bytes    int64
-		err      error
+		postings  map[string]map[string]*Posting
+		d         time.Duration
+		bytes     int64
+		gets      int64    // keys billed against the store
+		coalesced int64    // keys served by an in-flight twin fetch
+		degraded  []string // keys shed by open circuit breakers
+		fill      bool     // whether this call fills the cache (leader side)
+		err       error
 	}
 	results := make([]chunkResult, chunks)
 	fetchChunk := func(ci int) chunkResult {
@@ -437,20 +462,59 @@ func ReadKeys(store kv.Store, table string, keys []string, kind PostingKind, bin
 		if end > len(fetch) {
 			end = len(fetch)
 		}
-		got, d, err := store.BatchGet(table, fetch[start:end])
+		chunk := fetch[start:end]
+		run := func() (any, time.Duration, error) {
+			got, d, err := kv.BatchGetContext(opt.Ctx, store, table, chunk)
+			var degraded []string
+			if err != nil {
+				de := kv.AsDegraded(err)
+				if de == nil {
+					return nil, d, err
+				}
+				// Partial scatter read: the shed shards' keys are absent
+				// from got. Serve what arrived and mark the read degraded
+				// rather than fail the whole look-up on one bad shard.
+				degraded = de.Keys
+			}
+			fc := &flightChunk{
+				postings: make(map[string]map[string]*Posting, len(got)),
+				degraded: degraded,
+			}
+			for k, items := range got {
+				for _, it := range items {
+					fc.bytes += it.Size()
+				}
+				postings, err := decodeItems(items, kind, binaryIDs)
+				if err != nil {
+					return nil, d, fmt.Errorf("key %q: %w", k, err)
+				}
+				fc.postings[k] = postings
+			}
+			return fc, d, nil
+		}
+		var (
+			v      any
+			d      time.Duration
+			leader = true
+			err    error
+		)
+		if opt.Flight == nil {
+			v, d, err = run()
+		} else {
+			v, d, leader, err = opt.Flight.Do(flightKey(table, kind, binaryIDs, chunk), run)
+		}
 		if err != nil {
 			return chunkResult{err: err}
 		}
-		cr := chunkResult{postings: make(map[string]map[string]*Posting, len(got)), d: d}
-		for k, items := range got {
-			for _, it := range items {
-				cr.bytes += it.Size()
-			}
-			postings, err := decodeItems(items, kind, binaryIDs)
-			if err != nil {
-				return chunkResult{err: fmt.Errorf("key %q: %w", k, err)}
-			}
-			cr.postings[k] = postings
+		fc := v.(*flightChunk)
+		cr := chunkResult{postings: fc.postings, d: d, degraded: fc.degraded, fill: leader}
+		if leader {
+			cr.bytes = fc.bytes
+			cr.gets = int64(len(chunk)) - int64(len(fc.degraded))
+		} else {
+			// A coalesced chunk shares the leader's postings and waits out
+			// the leader's modeled latency, but bills nothing.
+			cr.coalesced = int64(len(chunk))
 		}
 		return cr
 	}
@@ -484,14 +548,48 @@ func ReadKeys(store kv.Store, table string, keys []string, kind PostingKind, bin
 		}
 		rs.GetTime += cr.d
 		rs.Bytes += cr.bytes
+		rs.GetOps += cr.gets
+		rs.CoalescedKeys += cr.coalesced
+		if len(cr.degraded) > 0 {
+			rs.Incomplete = true
+			rs.DegradedKeys += int64(len(cr.degraded))
+		}
 		for k, postings := range cr.postings {
 			out[k] = postings
-			if opt.Cache != nil {
+			if cr.fill && opt.Cache != nil {
 				rs.CacheEvictions += opt.Cache.put(cacheKey{table: table, key: k, kind: kind}, postings)
 			}
 		}
 	}
 	return out, rs, nil
+}
+
+// flightChunk is the unit shared through a single-flight group: the decoded
+// postings of one store chunk, with its billed payload size and the keys
+// its circuit breakers shed. Waiters receive the leader's pointer, so a
+// coalesced cache fill hands every caller the same parsed structures.
+type flightChunk struct {
+	postings map[string]map[string]*Posting
+	bytes    int64
+	degraded []string
+}
+
+// flightKey identifies one chunk fetch for coalescing. Two concurrent
+// fetches coalesce only when they would issue byte-identical requests and
+// decode them identically; like a PostingCache, one Flight group must not
+// front two different stores.
+func flightKey(table string, kind PostingKind, binaryIDs bool, chunk []string) string {
+	var b strings.Builder
+	b.WriteString(table)
+	b.WriteByte('|')
+	b.WriteString(strconv.Itoa(int(kind)))
+	b.WriteByte('|')
+	b.WriteString(strconv.FormatBool(binaryIDs))
+	for _, k := range chunk {
+		b.WriteByte(0)
+		b.WriteString(k)
+	}
+	return b.String()
 }
 
 func decodeItems(items []kv.Item, kind PostingKind, binaryIDs bool) (map[string]*Posting, error) {

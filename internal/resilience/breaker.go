@@ -1,0 +1,197 @@
+package resilience
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// BreakerState is one shard breaker's position in the classic three-state
+// machine.
+type BreakerState int
+
+const (
+	// BreakerClosed passes traffic and counts consecutive failures.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen sheds traffic for a fixed number of operations.
+	BreakerOpen
+	// BreakerHalfOpen lets one probe through; its outcome decides between
+	// reclosing and reopening.
+	BreakerHalfOpen
+)
+
+// String aids test failure messages.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// BreakerSet is one circuit breaker per scatter-mode shard. A shard whose
+// operations fail FailThreshold times in a row opens: the next OpenOps
+// operations against it are shed without touching the store (the scatter
+// layer degrades to a partial result instead), after which the breaker goes
+// half-open and admits a single probe. A successful probe recloses the
+// breaker; a failed one reopens it for another OpenOps sheds.
+//
+// The machine advances on operation COUNT, not wall or modeled time, so its
+// trajectory is a pure function of each shard's outcome sequence — that is
+// what "vtime-deterministic" means here, and why chaos differential runs
+// reproduce the exact open/half-open/shed tallies.
+type BreakerSet struct {
+	// FailThreshold is the consecutive-failure count that opens a shard's
+	// breaker (default 5).
+	FailThreshold int
+	// OpenOps is how many operations an open breaker sheds before probing
+	// (default 16).
+	OpenOps int
+	// Sink, when non-nil, receives the breaker counters. Set before sharing.
+	Sink CounterSink
+
+	mu sync.Mutex
+	sh []breakerShard
+
+	opens     atomic.Int64
+	halfOpens atomic.Int64
+	sheds     atomic.Int64
+}
+
+type breakerShard struct {
+	state    BreakerState
+	failures int  // consecutive failures while closed
+	shedLeft int  // sheds remaining while open
+	probing  bool // a half-open probe is in flight
+}
+
+// NewBreakerSet returns a breaker per shard with default policy.
+func NewBreakerSet(shards int) *BreakerSet {
+	if shards < 1 {
+		shards = 1
+	}
+	return &BreakerSet{sh: make([]breakerShard, shards)}
+}
+
+func (b *BreakerSet) failThreshold() int {
+	if b.FailThreshold <= 0 {
+		return 5
+	}
+	return b.FailThreshold
+}
+
+func (b *BreakerSet) openOps() int {
+	if b.OpenOps <= 0 {
+		return 16
+	}
+	return b.OpenOps
+}
+
+func (b *BreakerSet) bump(c *atomic.Int64, metric string) {
+	c.Add(1)
+	if b.Sink != nil {
+		b.Sink.Add(metric, 1)
+	}
+}
+
+// Allow reports whether an operation against the shard may proceed. A false
+// return means the operation is shed: the caller must not touch the store
+// and should degrade to a partial result. Nil-safe (always allows).
+func (b *BreakerSet) Allow(shard int) bool {
+	if b == nil || shard < 0 || shard >= len(b.sh) {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	s := &b.sh[shard]
+	switch s.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		s.shedLeft--
+		b.bump(&b.sheds, MetricBreakerShed)
+		if s.shedLeft <= 0 {
+			s.state = BreakerHalfOpen
+			s.probing = false
+			b.bump(&b.halfOpens, MetricBreakerHalfOpen)
+		}
+		return false
+	case BreakerHalfOpen:
+		if s.probing {
+			// Only one probe at a time; concurrent callers are shed.
+			b.bump(&b.sheds, MetricBreakerShed)
+			return false
+		}
+		s.probing = true
+		return true
+	}
+	return true
+}
+
+// Success records a successful operation on the shard.
+func (b *BreakerSet) Success(shard int) {
+	if b == nil || shard < 0 || shard >= len(b.sh) {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	s := &b.sh[shard]
+	s.failures = 0
+	if s.state == BreakerHalfOpen {
+		s.state = BreakerClosed
+		s.probing = false
+	}
+}
+
+// Failure records a failed operation on the shard, advancing the machine.
+func (b *BreakerSet) Failure(shard int) {
+	if b == nil || shard < 0 || shard >= len(b.sh) {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	s := &b.sh[shard]
+	switch s.state {
+	case BreakerClosed:
+		s.failures++
+		if s.failures >= b.failThreshold() {
+			s.state = BreakerOpen
+			s.shedLeft = b.openOps()
+			s.failures = 0
+			b.bump(&b.opens, MetricBreakerOpen)
+		}
+	case BreakerHalfOpen:
+		s.state = BreakerOpen
+		s.shedLeft = b.openOps()
+		s.probing = false
+		b.bump(&b.opens, MetricBreakerOpen)
+	}
+}
+
+// State returns the shard breaker's current state (closed on nil/bad index).
+func (b *BreakerSet) State(shard int) BreakerState {
+	if b == nil || shard < 0 || shard >= len(b.sh) {
+		return BreakerClosed
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.sh[shard].state
+}
+
+// BreakerStats is a snapshot of a BreakerSet's counters.
+type BreakerStats struct {
+	// Opens counts closed/half-open → open transitions, HalfOpens the
+	// open → half-open transitions, Sheds the operations rejected.
+	Opens, HalfOpens, Sheds int64
+}
+
+// Stats returns a snapshot of the set's cumulative counters.
+func (b *BreakerSet) Stats() BreakerStats {
+	if b == nil {
+		return BreakerStats{}
+	}
+	return BreakerStats{Opens: b.opens.Load(), HalfOpens: b.halfOpens.Load(), Sheds: b.sheds.Load()}
+}

@@ -1,0 +1,170 @@
+package resilience
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Hedger decides when a scatter-mode shard read has straggled long enough
+// that a second (hedged) request is worth issuing, Airphant-style: it keeps
+// a bounded window of recently observed per-shard modeled latencies and
+// derives the hedge delay as a configurable quantile over them. A shard
+// call whose primary modeled latency exceeds Delay() fires a hedge — the
+// operation is re-issued against the same shard and the caller keeps
+// whichever response finishes first in modeled time (primary at d1, or
+// hedge at delay+d2), cancelling the loser.
+//
+// Billing: both requests really hit the store, so both are metered and
+// billed — hedging buys latency with money, never the reverse. The fired /
+// won / wasted_bill counters make the trade visible: wasted_bill counts
+// hedges that fired but lost the race, i.e. extra billed requests that
+// bought nothing.
+//
+// Determinism: observations and decisions use modeled durations only. Each
+// shard's ring is appended in that shard's (sequential) operation order,
+// and Delay() is computed once per scatter call before the fan-out starts,
+// so for a fixed seed the fired/won sequence is identical across runs.
+type Hedger struct {
+	// Quantile of the observed latency window used as the hedge delay
+	// (default 0.9). Higher values hedge later and waste less money;
+	// lower values cut the tail harder.
+	Quantile float64
+	// Window bounds the per-shard latency ring (default 64 samples).
+	Window int
+	// MinSamples is the total observation count required before hedging
+	// arms (default 8); until then Delay reports ok=false.
+	MinSamples int
+	// Sink, when non-nil, receives the hedge counters. Set before sharing.
+	Sink CounterSink
+
+	mu    sync.Mutex
+	rings [][]time.Duration // per-shard bounded sample windows
+	next  []int             // per-shard ring write cursor
+	total int               // observations ever recorded
+
+	fired  atomic.Int64
+	won    atomic.Int64
+	wasted atomic.Int64
+}
+
+// NewHedger returns a hedger for n shards with default policy.
+func NewHedger(n int) *Hedger {
+	if n < 1 {
+		n = 1
+	}
+	return &Hedger{rings: make([][]time.Duration, n), next: make([]int, n)}
+}
+
+func (h *Hedger) quantile() float64 {
+	if h.Quantile <= 0 || h.Quantile >= 1 {
+		return 0.9
+	}
+	return h.Quantile
+}
+
+func (h *Hedger) window() int {
+	if h.Window <= 0 {
+		return 64
+	}
+	return h.Window
+}
+
+func (h *Hedger) minSamples() int {
+	if h.MinSamples <= 0 {
+		return 8
+	}
+	return h.MinSamples
+}
+
+// Observe records one shard's primary modeled latency. Hedge latencies are
+// never observed, so the window tracks the store's raw behaviour.
+func (h *Hedger) Observe(shard int, d time.Duration) {
+	if h == nil || shard < 0 || shard >= len(h.rings) || d <= 0 {
+		return
+	}
+	h.mu.Lock()
+	ring := h.rings[shard]
+	if len(ring) < h.window() {
+		h.rings[shard] = append(ring, d)
+	} else {
+		ring[h.next[shard]%len(ring)] = d
+	}
+	h.next[shard]++
+	h.total++
+	h.mu.Unlock()
+}
+
+// Delay returns the current hedge delay: the configured quantile of the
+// union of the per-shard windows. ok is false until MinSamples observations
+// exist — a cold hedger never fires. Callers compute it once per scatter
+// call, before the fan-out, so every shard of one call sees the same delay.
+func (h *Hedger) Delay() (delay time.Duration, ok bool) {
+	if h == nil {
+		return 0, false
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.total < h.minSamples() {
+		return 0, false
+	}
+	var all []time.Duration
+	for _, ring := range h.rings {
+		all = append(all, ring...)
+	}
+	if len(all) == 0 {
+		return 0, false
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	// Nearest-rank quantile over the sorted window.
+	idx := int(h.quantile()*float64(len(all)-1) + 0.5)
+	if idx >= len(all) {
+		idx = len(all) - 1
+	}
+	return all[idx], true
+}
+
+func (h *Hedger) bump(c *atomic.Int64, metric string) {
+	c.Add(1)
+	if h.Sink != nil {
+		h.Sink.Add(metric, 1)
+	}
+}
+
+// NoteFired records that a hedge request was issued.
+func (h *Hedger) NoteFired() {
+	if h != nil {
+		h.bump(&h.fired, MetricHedgeFired)
+	}
+}
+
+// NoteWon records that a hedge finished before its primary.
+func (h *Hedger) NoteWon() {
+	if h != nil {
+		h.bump(&h.won, MetricHedgeWon)
+	}
+}
+
+// NoteWasted records a hedge that fired but lost the race: an extra billed
+// request that bought no latency.
+func (h *Hedger) NoteWasted() {
+	if h != nil {
+		h.bump(&h.wasted, MetricHedgeWasted)
+	}
+}
+
+// HedgeStats is a snapshot of a Hedger's counters.
+type HedgeStats struct {
+	// Fired counts hedge requests issued; Won those that finished before
+	// their primary; WastedBill those that fired and lost (pure overhead).
+	Fired, Won, WastedBill int64
+}
+
+// Stats returns a snapshot of the hedger's cumulative counters.
+func (h *Hedger) Stats() HedgeStats {
+	if h == nil {
+		return HedgeStats{}
+	}
+	return HedgeStats{Fired: h.fired.Load(), Won: h.won.Load(), WastedBill: h.wasted.Load()}
+}
