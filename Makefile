@@ -9,7 +9,7 @@ COVER_MIN ?= 80.0
 
 # BENCH_ARTIFACT is the checked-in benchmark snapshot this PR sequence
 # tracks; benchcmp diffs a fresh run against it.
-BENCH_ARTIFACT ?= BENCH_7.json
+BENCH_ARTIFACT ?= BENCH_8.json
 
 build:
 	$(GO) build ./...
@@ -65,7 +65,7 @@ obs-smoke:
 # top of the checked-in seed corpora. `go test -fuzz` accepts only one
 # matching target per invocation, so discover and loop.
 fuzzsmoke:
-	@for pkg in ./internal/index ./internal/pattern; do \
+	@for pkg in ./internal/idblock ./internal/index ./internal/pattern; do \
 		for target in $$($(GO) test -list '^Fuzz' $$pkg | grep '^Fuzz'); do \
 			echo "fuzz $$pkg $$target"; \
 			$(GO) test $$pkg -run="^$$target$$" -fuzz="^$$target$$" -fuzztime=$(FUZZTIME) || exit 1; \

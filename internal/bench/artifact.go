@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"repro/internal/cloud/ec2"
+	"repro/internal/core"
 	"repro/internal/index"
 	"repro/internal/workload"
 	"repro/internal/xmltree"
@@ -171,6 +172,30 @@ func RunArtifact(scale Scale) (*Artifact, error) {
 	}
 	add("IDCodec/decode-legacy", decode(legacy))
 	add("IDCodec/decode-blocked", decode(blocked))
+
+	// The two blocked payload families head to head over the same set:
+	// decode-blocked above tracks whatever the default writer emits (packed
+	// since the bit-packed format landed), while this pair keeps both wire
+	// formats measured explicitly so their ratio is visible in one artifact.
+	blockedVarint := index.EncodeIDsBlockedVarint(ids, 48<<10)
+	add("DecodeBlock/varint", decode(blockedVarint))
+	add("DecodeBlock/packed", decode(blocked))
+
+	// LUP over front-coded path blocks: the prefix-skip matcher's hot path.
+	// The stock LUP warehouse stores plain path strings, so this entry needs
+	// its own compressed-path build.
+	lupW, _, _, err := BuildWarehouseCfg(c, core.Config{Strategy: index.LUP, CompressPaths: true}, 8, ec2.Large)
+	if err != nil {
+		return nil, err
+	}
+	add("LookupPattern/LUP/compressed", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := index.LookupPattern(lupW.Store(), index.LUP, q, index.LookupOptions{Concurrency: 1}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 	if benchErr != nil {
 		return nil, benchErr
 	}

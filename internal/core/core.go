@@ -123,6 +123,11 @@ type Config struct {
 	// CompressPaths front-codes LUP/2LUPI path lists in the index store
 	// (the improvement the paper's conclusion suggests).
 	CompressPaths bool
+	// VarintIDPayload pins binary identifier sets to the version-1
+	// delta+varint blocked blobs instead of the default bit-packed
+	// frame-of-reference payloads — an operational escape hatch; readers
+	// decode every format either way.
+	VarintIDPayload bool
 	// Seed drives the UUID generator.
 	Seed int64
 	// Ledger receives all metering; a fresh one is created when nil.
@@ -261,6 +266,7 @@ type Warehouse struct {
 	Perf     PerfModel
 
 	compressPaths bool
+	varintIDs     bool
 	queryWorkers  int
 	lookupOpts    index.LookupOptions
 	cache         *index.PostingCache
@@ -396,6 +402,7 @@ func New(cfg Config) (*Warehouse, error) {
 		Strategy:       cfg.Strategy,
 		Perf:           cfg.Perf.withDefaults(),
 		compressPaths:  cfg.CompressPaths,
+		varintIDs:      cfg.VarintIDPayload,
 		queryWorkers:   cfg.QueryWorkers,
 		queryDeadline:  cfg.QueryDeadline,
 		queryRetries:   cfg.QueryRetryBudget,
@@ -597,10 +604,13 @@ func (w *Warehouse) IndexItems() int64 {
 }
 
 // indexOptions returns the extraction options for the warehouse's store,
-// honouring the path-compression setting.
+// honouring the path-compression and identifier-payload settings.
 func (w *Warehouse) indexOptions() index.Options {
 	opts := index.OptionsFor(w.store)
 	opts.CompressPaths = w.compressPaths
+	if w.varintIDs {
+		opts.IDPayload = index.PayloadVarint
+	}
 	return opts
 }
 

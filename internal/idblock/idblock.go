@@ -28,14 +28,19 @@
 //	             plen      uvarint (payload bytes of the block)
 //	payloads   the blocks' triple streams, concatenated in header order
 //
-// Each block payload is the legacy delta+varint triple stream with the
-// delta base restarted at the block boundary, so any block decodes on its
-// own. The format is strictly validated: the checksum, the exact payload
-// byte counts and inter-block pre ordering at parse time, and the
-// header/content agreement at block-decode time. A blob that fails any
-// parse check is not a blocked blob — the index codec then falls back to
-// the legacy format, which is how pre-existing dumps (whose first payload
-// byte may collide with the magic) keep decoding.
+// In a version-1 blob (magic 0xB1) each block payload is the legacy
+// delta+varint triple stream with the delta base restarted at the block
+// boundary, so any block decodes on its own. A version-2 blob (magic 0xB2)
+// keeps the identical header layout but prefixes every block payload with
+// one format byte: 0x00 for the same delta+varint stream, 0x01 for a
+// frame-of-reference bit-packed payload (see packed.go) whose columns
+// decode in one batch pass. The encoder negotiates per block, keeping
+// whichever encoding is smaller. The format is strictly validated: the
+// checksum, the exact payload byte counts and inter-block pre ordering at
+// parse time, and the header/content agreement at block-decode time. A
+// blob that fails any parse check is not a blocked blob — the index codec
+// then falls back to the legacy format, which is how pre-existing dumps
+// (whose first payload byte may collide with a magic) keep decoding.
 package idblock
 
 import (
@@ -47,8 +52,15 @@ import (
 	"repro/internal/xmltree"
 )
 
-// Magic is the first byte of every blocked blob.
+// Magic is the first byte of a version-1 blocked blob (bare delta+varint
+// block payloads).
 const Magic = 0xB1
+
+// Magic2 is the first byte of a version-2 blocked blob, whose block
+// payloads carry a leading format byte (varint or frame-of-reference
+// bit-packed). Headers, checksum and skip semantics are identical to
+// version 1.
+const Magic2 = 0xB2
 
 // DefaultBlockSize is the number of identifiers per block used by the
 // extraction pipeline: small enough that one block decodes in a short
@@ -75,10 +87,12 @@ type Header struct {
 
 // block pairs a header with its still-encoded payload bytes (nil when the
 // block was constructed pre-decoded via FromIDs). plen carries the header's
-// payload length between Parse's two passes.
+// payload length between Parse's two passes; v2 marks a payload that
+// starts with a format byte.
 type block struct {
 	Header
 	plen int
+	v2   bool
 	data []byte
 }
 
@@ -140,7 +154,7 @@ func (s *Set) Block(i int) ([]xmltree.NodeID, error) {
 		return s.decoded[i], nil
 	}
 	ids := make([]xmltree.NodeID, 0, s.blocks[i].Count)
-	ids, err := appendBlock(ids, s.blocks[i])
+	ids, err := appendBlock(ids, s.blocks[i], nil)
 	if err != nil {
 		return nil, err
 	}
@@ -149,29 +163,42 @@ func (s *Set) Block(i int) ([]xmltree.NodeID, error) {
 }
 
 // AppendBlock decodes the i-th block into dst without touching the memo —
-// the allocation-free path for callers that pool their buffers.
+// the allocation-free path for callers that pool their buffers. Packed
+// payloads decode through a pooled arena; callers that loop over blocks
+// should hold one arena and use AppendBlockArena instead.
 func (s *Set) AppendBlock(dst []xmltree.NodeID, i int) ([]xmltree.NodeID, error) {
+	return s.AppendBlockArena(dst, i, nil)
+}
+
+// AppendBlockArena is AppendBlock decoding through the caller's arena: a
+// packed payload unpacks its columns into it, so a loop over blocks reuses
+// one arena and the steady-state decode allocates nothing. A nil arena
+// borrows one from the pool for the duration of the call.
+func (s *Set) AppendBlockArena(dst []xmltree.NodeID, i int, a *Arena) ([]xmltree.NodeID, error) {
 	s.mu.Lock()
 	memo := s.decoded
 	s.mu.Unlock()
 	if memo != nil && memo[i] != nil {
 		return append(dst, memo[i]...), nil
 	}
-	return appendBlock(dst, s.blocks[i])
+	return appendBlock(dst, s.blocks[i], a)
 }
 
 // All decodes every block and returns the concatenated identifiers in pre
 // order, pre-sized from the headers' counts. It reads through the per-block
 // memo but does not populate it: a full decode is typically one-shot, and
-// skipping the memo keeps it at a single allocation.
+// skipping the memo keeps it at a single allocation (plus a pooled arena
+// when payloads are packed).
 func (s *Set) All() ([]xmltree.NodeID, error) {
 	if s == nil {
 		return nil, nil
 	}
 	out := make([]xmltree.NodeID, 0, s.total)
+	a := GetArena()
+	defer PutArena(a)
 	var err error
 	for i := range s.blocks {
-		if out, err = s.AppendBlock(out, i); err != nil {
+		if out, err = s.AppendBlockArena(out, i, a); err != nil {
 			return nil, err
 		}
 	}
@@ -181,32 +208,32 @@ func (s *Set) All() ([]xmltree.NodeID, error) {
 // appendBlock decodes one payload into dst and verifies it against its
 // header: triple count, exact byte length, pre ordering, and the min/max
 // summaries must all agree — that is what lets skip logic trust a header
-// it never cross-checks against the payload.
-func appendBlock(dst []xmltree.NodeID, b block) ([]xmltree.NodeID, error) {
+// it never cross-checks against the payload. Version-2 payloads dispatch
+// on their format byte; a nil arena borrows a pooled one when the payload
+// needs it.
+func appendBlock(dst []xmltree.NodeID, b block, a *Arena) ([]xmltree.NodeID, error) {
 	if b.data == nil {
 		return nil, fmt.Errorf("%w: block without payload", ErrCorrupt)
 	}
-	start := len(dst)
 	data := b.data
-	var prevPre int32
-	for len(data) > 0 {
-		dPre, n := binary.Uvarint(data)
-		if n <= 0 {
-			return nil, fmt.Errorf("%w: bad pre varint", ErrCorrupt)
+	if b.v2 {
+		switch data[0] { // Parse guarantees plen >= 1
+		case payloadPacked:
+			if a == nil {
+				a = GetArena()
+				defer PutArena(a)
+			}
+			return appendBlockPacked(dst, b, a)
+		case payloadVarint:
+			data = data[1:]
+		default:
+			return nil, fmt.Errorf("%w: unknown payload format %#x", ErrCorrupt, data[0])
 		}
-		data = data[n:]
-		post, n := binary.Uvarint(data)
-		if n <= 0 {
-			return nil, fmt.Errorf("%w: bad post varint", ErrCorrupt)
-		}
-		data = data[n:]
-		depth, n := binary.Uvarint(data)
-		if n <= 0 {
-			return nil, fmt.Errorf("%w: bad depth varint", ErrCorrupt)
-		}
-		data = data[n:]
-		prevPre += int32(dPre)
-		dst = append(dst, xmltree.NodeID{Pre: prevPre, Post: int32(post), Depth: int32(depth)})
+	}
+	start := len(dst)
+	dst, err := AppendVarintTriples(dst, data)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
 	ids := dst[start:]
 	if len(ids) != b.Count {
@@ -221,6 +248,72 @@ func appendBlock(dst []xmltree.NodeID, b block) ([]xmltree.NodeID, error) {
 		return nil, fmt.Errorf("%w: block summary disagrees with header", ErrCorrupt)
 	}
 	return dst, nil
+}
+
+// AppendVarintTriples decodes a delta+varint triple stream — the legacy
+// wire format and the varint block payload — appending to dst with the
+// delta base at zero. The batch fast path peels two whole triples of
+// single-byte varints per iteration (one bounds check, one combined
+// comparison); longer encodings fall back through an inlined two-byte case
+// to binary.Uvarint, so acceptance — including 64-bit sign-extended
+// encodings round-tripping through the modular int32 arithmetic the codec
+// fuzz targets pin — is bit-for-bit the one-varint-at-a-time behavior.
+func AppendVarintTriples(dst []xmltree.NodeID, data []byte) ([]xmltree.NodeID, error) {
+	var prevPre int32
+	for {
+		for len(data) >= 6 {
+			if data[0]|data[1]|data[2]|data[3]|data[4]|data[5] >= 0x80 {
+				break
+			}
+			prevPre += int32(data[0])
+			dst = append(dst, xmltree.NodeID{Pre: prevPre, Post: int32(data[1]), Depth: int32(data[2])})
+			prevPre += int32(data[3])
+			dst = append(dst, xmltree.NodeID{Pre: prevPre, Post: int32(data[4]), Depth: int32(data[5])})
+			data = data[6:]
+		}
+		if len(data) == 0 {
+			return dst, nil
+		}
+		dPre, n := uvarint(data)
+		if n <= 0 {
+			return nil, errBadVarint
+		}
+		data = data[n:]
+		post, n := uvarint(data)
+		if n <= 0 {
+			return nil, errBadVarint
+		}
+		data = data[n:]
+		depth, n := uvarint(data)
+		if n <= 0 {
+			return nil, errBadVarint
+		}
+		data = data[n:]
+		prevPre += int32(dPre)
+		dst = append(dst, xmltree.NodeID{Pre: prevPre, Post: int32(post), Depth: int32(depth)})
+	}
+}
+
+var errBadVarint = errors.New("idblock: bad varint triple")
+
+// uvarint is binary.Uvarint with the one- and two-byte encodings inlined;
+// everything else (longer, overlong, truncated) delegates so the accept
+// and reject behavior stays exactly the standard library's.
+func uvarint(b []byte) (uint64, int) {
+	if len(b) >= 2 {
+		b0 := b[0]
+		if b0 < 0x80 {
+			return uint64(b0), 1
+		}
+		if b1 := b[1]; b1 < 0x80 {
+			return uint64(b0&0x7f) | uint64(b1)<<7, 2
+		}
+		return binary.Uvarint(b)
+	}
+	if len(b) == 1 && b[0] < 0x80 {
+		return uint64(b[0]), 1
+	}
+	return binary.Uvarint(b)
 }
 
 // summarize computes the header of a non-empty identifier slice.
@@ -265,15 +358,28 @@ func IsSorted(ids []xmltree.NodeID) bool {
 	return true
 }
 
-// Encode encodes a pre-sorted identifier set into blocked blobs of roughly
-// maxBlob bytes each. A blob always holds at least one whole block and a
-// block at least one triple, so hostile caps are exceeded by at most one
-// header plus one oversized triple — the same overshoot contract as the
-// legacy codec. blockSize <= 0 selects DefaultBlockSize; maxBlob <= 0
-// selects 1 MiB. Encode panics on unsorted input: the headers it would
-// write could silently corrupt skip decisions, so callers gate on IsSorted
-// and fall back to the legacy codec.
+// Encode encodes a pre-sorted identifier set into version-1 blocked blobs
+// of roughly maxBlob bytes each. A blob always holds at least one whole
+// block and a block at least one triple, so hostile caps are exceeded by at
+// most one header plus one oversized triple — the same overshoot contract
+// as the legacy codec. blockSize <= 0 selects DefaultBlockSize; maxBlob
+// <= 0 selects 1 MiB. Encode panics on unsorted input: the headers it
+// would write could silently corrupt skip decisions, so callers gate on
+// IsSorted and fall back to the legacy codec.
 func Encode(ids []xmltree.NodeID, blockSize, maxBlob int) [][]byte {
+	return encode(ids, blockSize, maxBlob, false)
+}
+
+// EncodePacked encodes a pre-sorted identifier set into version-2 blobs
+// with per-block payload negotiation: each block keeps the smaller of its
+// frame-of-reference bit-packed payload and its delta+varint payload (the
+// format byte makes the choice self-describing, so blocks of one blob may
+// mix). Same contracts as Encode otherwise.
+func EncodePacked(ids []xmltree.NodeID, blockSize, maxBlob int) [][]byte {
+	return encode(ids, blockSize, maxBlob, true)
+}
+
+func encode(ids []xmltree.NodeID, blockSize, maxBlob int, v2 bool) [][]byte {
 	if len(ids) == 0 {
 		return nil
 	}
@@ -286,9 +392,17 @@ func Encode(ids []xmltree.NodeID, blockSize, maxBlob int) [][]byte {
 	if !IsSorted(ids) {
 		panic("idblock: Encode on unsorted identifiers")
 	}
+	var arena *Arena
+	if v2 {
+		arena = GetArena()
+		defer PutArena(arena)
+	}
 
 	// Cut the set into blocks: at most blockSize ids each, and a payload
 	// that stops growing at the blob cap so single-block blobs stay near it.
+	// Cut decisions are made on the varint size for both versions, so the
+	// cap overshoot contract is identical; the packed alternative only ever
+	// shrinks a block after the cut.
 	type cut struct {
 		header  Header
 		payload []byte
@@ -311,12 +425,26 @@ func Encode(ids []xmltree.NodeID, blockSize, maxBlob int) [][]byte {
 			prevPre = id.Pre
 			end++
 		}
-		cuts = append(cuts, cut{header: summarize(ids[start:end]), payload: payload})
+		h := summarize(ids[start:end])
+		if v2 {
+			wPre, wPost, wDepth := headerWidths(h)
+			packable := wPre|wPost|wDepth != 0 || h.Count <= maxZeroSpanCount
+			if ps := packedPayloadSize(h); packable && ps < 1+len(payload) {
+				payload = packPayload(make([]byte, 0, ps), ids[start:end], h, arena)
+			} else {
+				payload = append([]byte{payloadVarint}, payload...)
+			}
+		}
+		cuts = append(cuts, cut{header: h, payload: payload})
 		start = end
 	}
 
 	// Pack whole blocks into blobs under the cap (6 bytes cover magic,
 	// checksum and a small nblocks varint).
+	magic := byte(Magic)
+	if v2 {
+		magic = Magic2
+	}
 	var blobs [][]byte
 	for i := 0; i < len(cuts); {
 		var hdrs []byte
@@ -339,7 +467,7 @@ func Encode(ids []xmltree.NodeID, blockSize, maxBlob int) [][]byte {
 			body = append(body, cuts[j].payload...)
 		}
 		blob := make([]byte, 0, 5+len(body))
-		blob = append(blob, Magic)
+		blob = append(blob, magic)
 		var ck [4]byte
 		binary.LittleEndian.PutUint32(ck[:], fnv1a(body))
 		blob = append(blob, ck[:]...)
@@ -391,10 +519,10 @@ func addSpan(min int32, span uint64) (int32, bool) {
 	return int32(v), true
 }
 
-// Looks reports whether the blob starts like a blocked blob; only Parse
-// knows for sure.
+// Looks reports whether the blob starts like a blocked blob (either
+// version); only Parse knows for sure.
 func Looks(blob []byte) bool {
-	return len(blob) > 5 && blob[0] == Magic
+	return len(blob) > 5 && (blob[0] == Magic || blob[0] == Magic2)
 }
 
 // Parse validates a blocked blob and returns its Set without decoding any
@@ -409,6 +537,7 @@ func Parse(blob []byte) (*Set, error) {
 	if !Looks(blob) {
 		return nil, ErrNotBlocked
 	}
+	v2 := blob[0] == Magic2
 	want := binary.LittleEndian.Uint32(blob[1:5])
 	body := blob[5:]
 	if fnv1a(body) != want {
@@ -432,7 +561,16 @@ func Parse(blob []byte) (*Set, error) {
 			raw[i] = v
 			body = body[n:]
 		}
-		if raw[0] == 0 || raw[0] > uint64(len(blob)) {
+		// In version 1 every triple costs at least three payload bytes, so
+		// count <= len(blob) bounds decode allocations. Version-2 packed
+		// payloads legitimately go far below a byte per id; their counts are
+		// bounded against the payload kind by checkPayloadBound below, after
+		// the payloads are sliced.
+		maxCount := uint64(len(blob))
+		if v2 {
+			maxCount = 1 << 31
+		}
+		if raw[0] == 0 || raw[0] > maxCount {
 			return nil, fmt.Errorf("%w: bad block id count", ErrNotBlocked)
 		}
 		h := Header{Count: int(raw[0])}
@@ -455,16 +593,18 @@ func Parse(blob []byte) (*Set, error) {
 		if h.MaxDepth, ok = addSpan(h.MinDepth, raw[6]); !ok {
 			return nil, fmt.Errorf("%w: depth span out of range", ErrNotBlocked)
 		}
-		// A triple is at least three bytes, so a hostile count cannot force
-		// an oversized allocation at decode time.
-		if raw[7] < 3*uint64(h.Count) || raw[7] > uint64(len(blob)) {
+		minPlen := 3 * uint64(h.Count)
+		if v2 {
+			minPlen = 1
+		}
+		if raw[7] < minPlen || raw[7] > uint64(len(blob)) {
 			return nil, fmt.Errorf("%w: payload length out of range", ErrNotBlocked)
 		}
 		if len(s.blocks) > 0 && h.MinPre < s.blocks[len(s.blocks)-1].MaxPre {
 			return nil, fmt.Errorf("%w: blocks out of pre order", ErrNotBlocked)
 		}
 		payloadTotal += raw[7]
-		s.blocks = append(s.blocks, block{Header: h, plen: int(raw[7])})
+		s.blocks = append(s.blocks, block{Header: h, plen: int(raw[7]), v2: v2})
 		s.total += h.Count
 	}
 	if payloadTotal != uint64(len(body)) {
@@ -475,6 +615,13 @@ func Parse(blob []byte) (*Set, error) {
 		plen := s.blocks[i].plen
 		s.blocks[i].data = body[off : off+plen : off+plen]
 		off += plen
+	}
+	if v2 {
+		for i := range s.blocks {
+			if err := checkPayloadBound(&s.blocks[i]); err != nil {
+				return nil, err
+			}
+		}
 	}
 	return s, nil
 }

@@ -252,8 +252,8 @@ func postingsBytes(k cacheKey, postings map[string]*Posting) int64 {
 	n := int64(len(k.table) + len(k.key) + 1)
 	for uri, p := range postings {
 		n += int64(len(uri) + len(p.URI))
-		for _, path := range p.Paths {
-			n += int64(len(path))
+		for _, v := range p.PathVals {
+			n += int64(len(v))
 		}
 		n += int64(p.IDCount()) * 12 // pre, post, depth int32
 		if p.IDs == nil && p.blocked != nil {

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/pattern"
 	"repro/internal/xmltree"
 )
 
@@ -122,23 +123,39 @@ func FuzzDecodeIDsBinary(f *testing.F) {
 	f.Add([]byte{0x80})                                                             // truncated uvarint
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01, 1, 1}) // > int32
 	f.Add(EncodeIDsBinary([]xmltree.NodeID{{Pre: 3, Post: 3, Depth: 2}, {Pre: 6, Post: 8, Depth: 3}}, 0)[0])
-	// Blocked-format seeds: a valid blocked blob, a bit-flipped copy (the
-	// checksum must bounce it to the legacy path without a panic), a
-	// truncated prefix, and a bare magic byte.
-	blocked := EncodeIDsBlocked(genSortedIDs(64, 42), 0)[0]
-	f.Add(blocked)
-	flipped := append([]byte(nil), blocked...)
-	flipped[len(flipped)/2] ^= 0x20
-	f.Add(flipped)
-	f.Add(blocked[:len(blocked)/2])
+	// Blocked-format seeds in both payload families: a valid blob, a
+	// bit-flipped copy (the checksum must bounce it to the legacy path
+	// without a panic), a truncated prefix, and a bare magic byte.
+	// EncodeIDsBlocked emits version-2 packed payloads; the varint twin
+	// pins the version-1 wire format.
+	for _, blocked := range [][]byte{
+		EncodeIDsBlocked(genSortedIDs(64, 42), 0)[0],
+		EncodeIDsBlockedVarint(genSortedIDs(64, 42), 0)[0],
+	} {
+		f.Add(blocked)
+		flipped := append([]byte(nil), blocked...)
+		flipped[len(flipped)/2] ^= 0x20
+		f.Add(flipped)
+		f.Add(blocked[:len(blocked)/2])
+	}
 	f.Add([]byte{0xB1})
+	f.Add([]byte{0xB2})
 	f.Fuzz(func(t *testing.T, blob []byte) {
 		ids, err := DecodeIDsBinary(blob)
 		if err != nil {
 			return
 		}
-		if got := decodeAllBinary(t, EncodeIDsBinary(ids, 0)); !idsEqual(got, ids) {
-			t.Fatalf("re-encode of accepted blob %x: got %v, want %v", blob, got, ids)
+		// Whatever decoded must survive every writer the store can use:
+		// the legacy stream and both blocked payload families (the latter
+		// fall back to the legacy stream on unsorted hostile decodes).
+		for _, blobs := range [][][]byte{
+			EncodeIDsBinary(ids, 0),
+			EncodeIDsBlocked(ids, 0),
+			EncodeIDsBlockedVarint(ids, 0),
+		} {
+			if got := decodeAllBinary(t, blobs); !idsEqual(got, ids) {
+				t.Fatalf("re-encode of accepted blob %x: got %v, want %v", blob, got, ids)
+			}
 		}
 	})
 }
@@ -223,18 +240,53 @@ func FuzzPathCodecRoundTrip(f *testing.F) {
 	})
 }
 
-// FuzzDecodePathValue: the path decoder never panics, and whatever it
-// accepts survives re-encoding as a multiset.
+// FuzzDecodePathValue: the path decoder never panics, whatever it accepts
+// survives re-encoding as a multiset, the allocation-free structural
+// validator agrees with it exactly, and the prefix-skip matcher agrees
+// with decode-then-MatchPath on every accepted value.
 func FuzzDecodePathValue(f *testing.F) {
 	f.Add([]byte("/plain/path"))
 	f.Add([]byte{0x01})
 	f.Add([]byte{0x01, 0x00, 0x02, '/', 'a'})
 	f.Add([]byte{0x01, 0x05, 0x01, 'x'}) // shared > len(prev)
 	f.Add([]byte{0x01, 0x00, 0xff, 'x'}) // suffix > rest
+	// A front-coded block with deep shared prefixes — the shape the
+	// prefix-skip matcher resumes from checkpoints on — plus one whose
+	// shared run dies early for every extension.
+	f.Add(EncodePathsCompressed([]string{
+		"/ea/eb/ec/ename", "/ea/eb/ec/eprice", "/ea/eb/ed", "/ea/eb/ed/ename",
+	}, 0)[0])
+	f.Add(EncodePathsCompressed([]string{"/zz/ea", "/zz/eb", "/zz/ec/ed"}, 0)[0])
+	// Fixed query paths for the matcher differential: child chain,
+	// descendant skip, and a key whose escaping matters.
+	matchers := [][]QueryStep{
+		{{Axis: pattern.Child, Key: "ea"}, {Axis: pattern.Child, Key: "eb"}},
+		{{Axis: pattern.Descendant, Key: "eb"}, {Axis: pattern.Descendant, Key: "ename"}},
+		{{Axis: pattern.Descendant, Key: "a 07/04"}},
+	}
 	f.Fuzz(func(t *testing.T, v []byte) {
 		paths, err := DecodePathValue(v)
+		if validErr := ValidatePathValue(v); (err == nil) != (validErr == nil) {
+			t.Fatalf("value %x: DecodePathValue err=%v but ValidatePathValue err=%v", v, err, validErr)
+		}
 		if err != nil {
 			return
+		}
+		for _, steps := range matchers {
+			got, merr := NewPathMatcher(steps).MatchValue(v)
+			if merr != nil {
+				t.Fatalf("accepted value %x: MatchValue: %v", v, merr)
+			}
+			want := false
+			for _, p := range paths {
+				if MatchPath(steps, p) {
+					want = true
+					break
+				}
+			}
+			if got != want {
+				t.Fatalf("value %x steps %v: MatchValue=%v, MatchPath over decode=%v", v, steps, got, want)
+			}
 		}
 		got := decodeAllPaths(t, EncodePathsCompressed(paths, 0))
 		want := sortedPaths(paths)

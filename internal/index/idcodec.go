@@ -78,18 +78,46 @@ func EncodeIDsBinary(ids []xmltree.NodeID, maxBlob int) [][]byte {
 // a pure encoding choice.
 const blockedMinIDs = 32
 
+// IDPayload selects the per-block payload family the blocked writer emits.
+// The zero value is the frame-of-reference bit-packed format (with per-block
+// negotiation falling back to varint where varint is smaller); PayloadVarint
+// pins the pure delta+varint version-1 blobs, kept as an operational escape
+// hatch and for byte-compatibility tests against pre-packed dumps. Readers
+// accept every format regardless of this knob.
+type IDPayload int
+
+const (
+	// PayloadPacked emits version-2 blobs: per block, the smaller of a
+	// bit-packed frame-of-reference payload and a delta+varint payload.
+	PayloadPacked IDPayload = iota
+	// PayloadVarint emits version-1 blobs with delta+varint payloads only.
+	PayloadVarint
+)
+
 // EncodeIDsBlocked encodes a pre-sorted identifier set into blocked blobs
-// (package idblock) of at most maxBlob bytes: the same delta+varint triples
-// as the legacy format, cut into blocks behind per-block summary headers so
-// that look-ups can skip blocks without decoding them. Sets too small to
-// amortize the framing, and unsorted inputs (which only hostile re-encodes
-// of corrupt blobs produce, never the extraction pipeline), fall back to
-// the legacy stream format.
+// (package idblock) of at most maxBlob bytes: summary headers over
+// bit-packed or delta+varint block payloads, so that look-ups can skip
+// blocks without decoding them. Sets too small to amortize the framing, and
+// unsorted inputs (which only hostile re-encodes of corrupt blobs produce,
+// never the extraction pipeline), fall back to the legacy stream format.
 func EncodeIDsBlocked(ids []xmltree.NodeID, maxBlob int) [][]byte {
+	return encodeIDsBlocked(ids, maxBlob, PayloadPacked)
+}
+
+// EncodeIDsBlockedVarint is EncodeIDsBlocked pinned to version-1
+// delta+varint payloads.
+func EncodeIDsBlockedVarint(ids []xmltree.NodeID, maxBlob int) [][]byte {
+	return encodeIDsBlocked(ids, maxBlob, PayloadVarint)
+}
+
+func encodeIDsBlocked(ids []xmltree.NodeID, maxBlob int, payload IDPayload) [][]byte {
 	if len(ids) < blockedMinIDs || !idblock.IsSorted(ids) {
 		return EncodeIDsBinary(ids, maxBlob)
 	}
-	return idblock.Encode(ids, idblock.DefaultBlockSize, maxBlob)
+	if payload == PayloadVarint {
+		return idblock.Encode(ids, idblock.DefaultBlockSize, maxBlob)
+	}
+	return idblock.EncodePacked(ids, idblock.DefaultBlockSize, maxBlob)
 }
 
 // DecodeIDsBinary decodes one binary blob in either binary format: blocked
@@ -110,34 +138,17 @@ func DecodeIDsBinary(blob []byte) ([]xmltree.NodeID, error) {
 	return decodeIDsLegacy(blob)
 }
 
-// decodeIDsLegacy decodes a legacy delta+varint stream. The output is
-// pre-sized from the byte length — a triple is at least three bytes, so
-// len/3 bounds the count — which keeps the decode at one allocation (the
-// codec benchmarks assert this).
+// decodeIDsLegacy decodes a legacy delta+varint stream through the unrolled
+// batch decoder. The output is pre-sized from the byte length — a triple is
+// at least three bytes, so len/3 bounds the count — which keeps the decode
+// at one allocation (the codec benchmarks assert this).
 func decodeIDsLegacy(blob []byte) ([]xmltree.NodeID, error) {
 	if len(blob) == 0 {
 		return nil, nil
 	}
-	ids := make([]xmltree.NodeID, 0, len(blob)/3)
-	var prevPre int32
-	for len(blob) > 0 {
-		dPre, n := binary.Uvarint(blob)
-		if n <= 0 {
-			return nil, ErrCorruptIDSet
-		}
-		blob = blob[n:]
-		post, n := binary.Uvarint(blob)
-		if n <= 0 {
-			return nil, ErrCorruptIDSet
-		}
-		blob = blob[n:]
-		depth, n := binary.Uvarint(blob)
-		if n <= 0 {
-			return nil, ErrCorruptIDSet
-		}
-		blob = blob[n:]
-		prevPre += int32(dPre)
-		ids = append(ids, xmltree.NodeID{Pre: prevPre, Post: int32(post), Depth: int32(depth)})
+	ids, err := idblock.AppendVarintTriples(make([]xmltree.NodeID, 0, len(blob)/3), blob)
+	if err != nil {
+		return nil, ErrCorruptIDSet
 	}
 	return ids, nil
 }
@@ -218,10 +229,17 @@ func DecodeIDSet(v []byte, binaryIDs bool) (*idblock.Set, []xmltree.NodeID, erro
 
 // EncodeIDs encodes a sorted identifier set in the codec chosen by
 // binaryIDs, splitting values at maxValue bytes. Binary stores get the
-// blocked format; DecodeIDs accepts both it and the legacy stream.
+// blocked format (packed payloads); DecodeIDs accepts it along with the
+// version-1 blocked and legacy stream formats.
 func EncodeIDs(ids []xmltree.NodeID, binaryIDs bool, maxValue int) [][]byte {
+	return EncodeIDsPayload(ids, binaryIDs, maxValue, PayloadPacked)
+}
+
+// EncodeIDsPayload is EncodeIDs with an explicit blocked-payload choice;
+// text stores ignore the payload knob.
+func EncodeIDsPayload(ids []xmltree.NodeID, binaryIDs bool, maxValue int, payload IDPayload) [][]byte {
 	if binaryIDs {
-		return EncodeIDsBlocked(ids, maxValue)
+		return encodeIDsBlocked(ids, maxValue, payload)
 	}
 	return EncodeIDsText(ids, maxValue)
 }

@@ -392,10 +392,15 @@ func lookupLUP(store kv.Store, table string, aug *augmented, opt LookupOptions) 
 	var uriSets []map[string]*Posting
 	for _, qp := range paths {
 		last := qp[len(qp)-1].Key
+		matcher := NewPathMatcher(qp)
 		matched := make(map[string]*Posting)
 		for uri, post := range postings[last] {
-			for _, stored := range post.Paths {
-				if MatchPath(qp, stored) {
+			for _, v := range post.PathVals {
+				ok, err := matcher.MatchValue(v)
+				if err != nil {
+					return nil, LookupStats{}, err
+				}
+				if ok {
 					matched[uri] = post
 					break
 				}

@@ -185,7 +185,7 @@ func TestPostingCacheEviction(t *testing.T) {
 	cache := NewPostingCache(16 << 10) // 1 KiB per shard
 	for i := 0; i < 512; i++ {
 		postings := map[string]*Posting{
-			fmt.Sprintf("doc-%03d.xml", i): {URI: "u", Paths: []string{"/ea/eb/ec"}},
+			fmt.Sprintf("doc-%03d.xml", i): {URI: "u", PathVals: [][]byte{[]byte("/ea/eb/ec")}},
 		}
 		cache.put(cacheKey{table: "t", key: fmt.Sprintf("k%03d", i), kind: PathPosting}, postings)
 	}

@@ -80,13 +80,16 @@ func commonPrefix(a, b string) int {
 }
 
 // DecodePathValue decodes one stored path value: either a plain path
-// string or a front-coded block.
+// string or a front-coded block. Each decoded path is assembled in one
+// reused byte buffer and converted to a string once, so the decode costs a
+// single allocation per path rather than the two a prefix+suffix string
+// concatenation would.
 func DecodePathValue(v []byte) ([]string, error) {
 	if len(v) == 0 || v[0] != pathBlockMarker {
 		return []string{string(v)}, nil
 	}
 	var out []string
-	prev := ""
+	var buf []byte // previous path's bytes, truncated and extended in place
 	rest := v[1:]
 	for len(rest) > 0 {
 		shared, n := binary.Uvarint(rest)
@@ -102,13 +105,44 @@ func DecodePathValue(v []byte) ([]string, error) {
 		// Compare in uint64: a hostile length like 1<<63 would wrap negative
 		// under int() and slip past an int comparison, then panic in the
 		// slice expression below (found by FuzzDecodePathValue).
-		if shared > uint64(len(prev)) || suffix > uint64(len(rest)) {
+		if shared > uint64(len(buf)) || suffix > uint64(len(rest)) {
 			return nil, fmt.Errorf("index: corrupt path block (lengths out of range)")
 		}
-		p := prev[:shared] + string(rest[:suffix])
+		buf = append(buf[:shared], rest[:suffix]...)
 		rest = rest[suffix:]
-		out = append(out, p)
-		prev = p
+		out = append(out, string(buf))
 	}
 	return out, nil
+}
+
+// ValidatePathValue structurally checks a stored path value without
+// materializing any path string: plain values are always valid, and a
+// front-coded block must walk cleanly with the same length guards as
+// DecodePathValue. Read paths that retain raw values call this once at
+// decode time, so corrupt blocks fail there — exactly where an eager
+// decode would have failed — rather than surfacing later during matching.
+func ValidatePathValue(v []byte) error {
+	if len(v) == 0 || v[0] != pathBlockMarker {
+		return nil
+	}
+	rest := v[1:]
+	prevLen := uint64(0)
+	for len(rest) > 0 {
+		shared, n := binary.Uvarint(rest)
+		if n <= 0 {
+			return fmt.Errorf("index: corrupt path block (prefix length)")
+		}
+		rest = rest[n:]
+		suffix, n := binary.Uvarint(rest)
+		if n <= 0 {
+			return fmt.Errorf("index: corrupt path block (suffix length)")
+		}
+		rest = rest[n:]
+		if shared > prevLen || suffix > uint64(len(rest)) {
+			return fmt.Errorf("index: corrupt path block (lengths out of range)")
+		}
+		prevLen = shared + suffix
+		rest = rest[suffix:]
+	}
+	return nil
 }

@@ -1,0 +1,187 @@
+package index
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/pattern"
+)
+
+// PathMatcher matches one compiled query path against stored path values —
+// plain strings or front-coded blocks — without materializing path strings.
+//
+// The query path is run as a tiny NFA over path components: bit j of the
+// state mask means "the first j steps have matched some prefix of the
+// components consumed so far". Stepping a component keeps bit j alive when
+// step j is a '//' (Descendant) step — it may skip the component — and
+// sets bit j+1 when the component equals step j's key. The stored path
+// matches when, after its final component, the all-steps bit is set: the
+// exact semantics of MatchPath's recursive walk, one pass, no splitting.
+//
+// On a front-coded block the matcher exploits the shared prefixes the
+// encoding hands it. It keeps, per '/' terminator of the current path, the
+// NFA state right after that component (a checkpoint), and resumes the
+// next entry from the deepest checkpoint that terminates inside the shared
+// prefix — components inside the shared run are stepped once per run, not
+// once per path. When the state dies at a terminator, every following
+// entry whose shared prefix extends past that point is rejected without
+// scanning a byte (a dead prefix stays dead under extension).
+//
+// A PathMatcher carries reusable scratch and must not be used concurrently.
+type PathMatcher struct {
+	steps    []QueryStep
+	wants    []string // escaped step keys, index-aligned with steps
+	skipMask uint64   // bit j set when steps[j] is a Descendant step
+	full     uint64   // the accept bit: 1 << len(steps)
+	fallback bool     // empty or >63-step paths use MatchPath directly
+
+	buf   []byte // current decoded path bytes
+	ends  []int  // checkpoint: index of each component's '/' terminator
+	masks []uint64
+}
+
+// NewPathMatcher compiles a query path. Paths longer than the 63 steps the
+// state mask can hold (never produced by real queries — document depth
+// bounds query paths) fall back to the decode-and-MatchPath route.
+func NewPathMatcher(steps []QueryStep) *PathMatcher {
+	m := &PathMatcher{steps: steps, full: 1 << uint(len(steps))}
+	if len(steps) == 0 || len(steps) > 63 {
+		m.fallback = true
+		return m
+	}
+	m.wants = make([]string, len(steps))
+	for j, s := range steps {
+		m.wants[j] = escapeComponent(s.Key)
+		if s.Axis == pattern.Descendant {
+			m.skipMask |= 1 << uint(j)
+		}
+	}
+	return m
+}
+
+// step consumes one path component.
+func (m *PathMatcher) step(mask uint64, comp []byte) uint64 {
+	next := mask & m.skipMask
+	for j, w := range m.wants {
+		if mask&(1<<uint(j)) != 0 && string(comp) == w {
+			next |= 1 << uint(j+1)
+		}
+	}
+	return next
+}
+
+// MatchValue reports whether any path held by one stored value matches the
+// query path. Values are assumed structurally valid (ValidatePathValue ran
+// at decode time); the length guards still hold, so a corrupt value
+// surfaces as an error, never a panic.
+func (m *PathMatcher) MatchValue(v []byte) (bool, error) {
+	if len(v) > 0 && v[0] == pathBlockMarker {
+		if m.fallback {
+			paths, err := DecodePathValue(v)
+			if err != nil {
+				return false, err
+			}
+			for _, p := range paths {
+				if MatchPath(m.steps, p) {
+					return true, nil
+				}
+			}
+			return false, nil
+		}
+		return m.matchBlock(v)
+	}
+	if m.fallback {
+		return MatchPath(m.steps, string(v)), nil
+	}
+	return m.matchPlain(v), nil
+}
+
+// matchPlain runs the NFA over a plain path value, splitting on '/' bytes
+// exactly as MatchPath's strings.Split does (a trailing slash yields an
+// empty final component, "/" alone yields one empty component).
+func (m *PathMatcher) matchPlain(v []byte) bool {
+	if len(v) == 0 || v[0] != '/' {
+		return false
+	}
+	mask := uint64(1)
+	start := 1
+	for i := 1; i <= len(v); i++ {
+		if i == len(v) || v[i] == '/' {
+			if mask = m.step(mask, v[start:i]); mask == 0 {
+				return false
+			}
+			start = i + 1
+		}
+	}
+	return mask&m.full != 0
+}
+
+// matchBlock walks a front-coded block with prefix-skipping, returning true
+// as soon as one entry matches.
+func (m *PathMatcher) matchBlock(v []byte) (bool, error) {
+	buf := m.buf[:0]
+	ends := m.ends[:0]
+	masks := m.masks[:0]
+	deadEnd := -1 // '/'-terminator index where the state died; -1 = alive
+	rest := v[1:]
+	for len(rest) > 0 {
+		shared, n := binary.Uvarint(rest)
+		if n <= 0 {
+			return false, fmt.Errorf("index: corrupt path block (prefix length)")
+		}
+		rest = rest[n:]
+		suffix, n := binary.Uvarint(rest)
+		if n <= 0 {
+			return false, fmt.Errorf("index: corrupt path block (suffix length)")
+		}
+		rest = rest[n:]
+		if shared > uint64(len(buf)) || suffix > uint64(len(rest)) {
+			return false, fmt.Errorf("index: corrupt path block (lengths out of range)")
+		}
+		buf = append(buf[:shared], rest[:suffix]...)
+		rest = rest[suffix:]
+
+		// Checkpoints whose terminator falls outside the shared prefix
+		// belong to the previous entry's bytes. Strictly inside: a shared
+		// run that ends mid-component shares bytes but not the component.
+		for len(ends) > 0 && ends[len(ends)-1] >= int(shared) {
+			ends = ends[:len(ends)-1]
+			masks = masks[:len(masks)-1]
+		}
+		if deadEnd >= 0 && int(shared) > deadEnd {
+			continue // extends a prefix that already killed the state
+		}
+		deadEnd = -1
+
+		var mask uint64
+		var start int
+		if k := len(ends); k > 0 {
+			mask, start = masks[k-1], ends[k-1]+1
+		} else {
+			if len(buf) == 0 || buf[0] != '/' {
+				deadEnd = 0 // a bad head is dead for every extension
+				continue
+			}
+			mask, start = 1, 1
+		}
+		alive := true
+		for i := start; i < len(buf); i++ {
+			if buf[i] != '/' {
+				continue
+			}
+			if mask = m.step(mask, buf[start:i]); mask == 0 {
+				alive, deadEnd = false, i
+				break
+			}
+			ends = append(ends, i)
+			masks = append(masks, mask)
+			start = i + 1
+		}
+		if alive && m.step(mask, buf[start:])&m.full != 0 {
+			m.buf, m.ends, m.masks = buf, ends, masks
+			return true, nil
+		}
+	}
+	m.buf, m.ends, m.masks = buf, ends, masks
+	return false, nil
+}

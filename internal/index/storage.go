@@ -311,9 +311,13 @@ const (
 // and memoized because most decoded postings never reach a join: their
 // URIs fall out of the candidate intersection first.
 type Posting struct {
-	URI   string
-	Paths []string
-	IDs   []xmltree.NodeID
+	URI string
+	// PathVals holds the raw stored path values — plain path strings or
+	// front-coded blocks, validated at decode time — so the LUP matcher
+	// can run over the compressed form without materializing every path.
+	// The slices alias the decoded store values and must not be mutated.
+	PathVals [][]byte
+	IDs      []xmltree.NodeID
 
 	blocked *idblock.Set                // lazy set decoded from blocked blobs
 	wrapped atomic.Pointer[idblock.Set] // memoized single-block wrap of IDs
@@ -353,6 +357,21 @@ func (p *Posting) DecodedIDs() ([]xmltree.NodeID, error) {
 		return p.IDs, nil
 	}
 	return p.blocked.All()
+}
+
+// DecodedPaths materializes the posting's path list as strings. The
+// matcher path (lookupLUP) never needs this; it exists for callers that
+// want the expanded list — tests, debugging, differentials.
+func (p *Posting) DecodedPaths() ([]string, error) {
+	var out []string
+	for _, v := range p.PathVals {
+		paths, err := DecodePathValue(v)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, paths...)
+	}
+	return out, nil
 }
 
 // ReadKey fetches and decodes every item under one hash key of a table,
@@ -611,11 +630,13 @@ func decodeItems(items []kv.Item, kind PostingKind, binaryIDs bool) (map[string]
 				// Presence is all that matters.
 			case PathPosting:
 				for _, v := range a.Values {
-					paths, err := DecodePathValue(v)
-					if err != nil {
+					// Validate now, retain raw: corrupt values fail here —
+					// where the old eager decode failed — and matching
+					// later runs on the compressed form.
+					if err := ValidatePathValue(v); err != nil {
 						return nil, err
 					}
-					p.Paths = append(p.Paths, paths...)
+					p.PathVals = append(p.PathVals, v)
 				}
 			case IDPosting:
 				for _, v := range a.Values {

@@ -433,7 +433,9 @@ func SemijoinIndexed(ancestors, descendants *idblock.Set, axis pattern.Axis, js 
 	var cur probeCursor
 	var out Stream
 	scratch := streamPool.Get().(*Stream)
+	arena := idblock.GetArena()
 	defer func() {
+		idblock.PutArena(arena)
 		*scratch = (*scratch)[:0]
 		streamPool.Put(scratch)
 	}()
@@ -444,7 +446,7 @@ func SemijoinIndexed(ancestors, descendants *idblock.Set, axis pattern.Axis, js 
 			continue
 		}
 		js.BlocksRead++
-		buf, err := ancestors.AppendBlock([]xmltree.NodeID((*scratch)[:0]), bi)
+		buf, err := ancestors.AppendBlockArena([]xmltree.NodeID((*scratch)[:0]), bi, arena)
 		if err != nil {
 			return nil, err
 		}
