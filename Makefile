@@ -5,11 +5,11 @@ FUZZTIME ?= 20s
 # under it so unrelated churn doesn't flake the gate).
 COVER_MIN ?= 80.0
 
-.PHONY: build test race vet fmt bench benchartifact benchcmp benchsmoke obs-smoke check fuzzsmoke coverage
+.PHONY: build test race vet fmt bench benchartifact benchcmp benchsmoke obs-smoke servesmoke check fuzzsmoke coverage
 
 # BENCH_ARTIFACT is the checked-in benchmark snapshot this PR sequence
 # tracks; benchcmp diffs a fresh run against it.
-BENCH_ARTIFACT ?= BENCH_8.json
+BENCH_ARTIFACT ?= BENCH_9.json
 
 build:
 	$(GO) build ./...
@@ -60,6 +60,19 @@ benchsmoke:
 # exporter once over HTTP and verifies the payload parses.
 obs-smoke:
 	$(GO) run ./cmd/xwh -corpus paintings -query '//painting[/name{val}]' -obs-smoke
+
+# servesmoke stands the query daemon up on a loopback port, drives a short
+# seeded closed-loop loadgen burst against it, asserts zero errors plus a
+# live serve.admitted counter on /metrics, then drains it with SIGTERM.
+servesmoke:
+	$(GO) build -o /tmp/xwh_smoke ./cmd/xwh
+	$(GO) build -o /tmp/loadgen_smoke ./cmd/loadgen
+	/tmp/xwh_smoke serve -corpus paintings -addr 127.0.0.1:18980 -serve-workers 4 & \
+		pid=$$!; \
+		/tmp/loadgen_smoke -addr http://127.0.0.1:18980 -wait-ready 30s \
+			-requests 40 -concurrency 4 -seed 7 -dist zipf -queries paintings \
+			-check-metrics; rc=$$?; \
+		kill -TERM $$pid 2>/dev/null; wait $$pid; exit $$rc
 
 # fuzzsmoke runs every native fuzz target for FUZZTIME of live mutation on
 # top of the checked-in seed corpora. `go test -fuzz` accepts only one

@@ -10,7 +10,7 @@
 //
 // Experiments: table4, fig7, fig8, table5, fig9, fig9detail, fig10,
 // table6, fig11, fig12, fig13, table7, table8, ablations, advisor, obs,
-// shard, tail.
+// shard, tail, serve.
 //
 // -artifact runs the key hot-path benchmarks plus the traced per-stage
 // table and writes a machine-readable JSON snapshot instead of the paper
@@ -28,6 +28,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/cloud/ec2"
 	"repro/internal/core"
+	"repro/internal/index"
 )
 
 func main() {
@@ -83,8 +84,8 @@ func main() {
 		a, err := bench.RunArtifact(scale)
 		check(err)
 		check(bench.WriteArtifact(a, *artifact))
-		fmt.Printf("wrote %s (%d benchmarks, %d stages, scale %s)\n",
-			*artifact, len(a.Benchmarks), len(a.Stages), a.Scale)
+		fmt.Printf("wrote %s (%d benchmarks, %d stages, %d serve points, scale %s)\n",
+			*artifact, len(a.Benchmarks), len(a.Stages), len(a.Serve), a.Scale)
 		return
 	}
 
@@ -196,6 +197,20 @@ func main() {
 		points, err := bench.RunTail(42, 8, 5, 160)
 		check(err)
 		fmt.Println(bench.TailTable(points))
+	}
+	if sel("serve") {
+		// The serving ladder needs one indexed 2LUPI warehouse; reuse the
+		// env's when another experiment already built it.
+		var sw *core.Warehouse
+		if env != nil {
+			sw = env.Warehouse(bench.AccessPath(index.TwoLUPI.Name()))
+		} else {
+			sw, _, _, err = bench.BuildWarehouse(corpus, index.TwoLUPI, "", 8, ec2.Large)
+			check(err)
+		}
+		points, err := bench.RunServe(sw, 42, 4)
+		check(err)
+		fmt.Println(bench.ServeTable(points))
 	}
 	if sel("advisor") {
 		out, err := bench.RunAdvisorAccuracy(env, 2)

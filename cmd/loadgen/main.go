@@ -1,0 +1,95 @@
+// Command loadgen drives a running `xwh serve` daemon with a seeded,
+// deterministic query mix and reports the serving numbers: latency
+// percentiles, throughput, shed and quota-rejection rates, and
+// $/1M-queries from the daemon's metered billing delta.
+//
+// Closed loop by default (-concurrency workers issue the next request as
+// soon as the previous answer lands); -rate switches to an open loop with
+// Poisson-free fixed-interval arrivals at that QPS.
+//
+//	# start the daemon
+//	xwh serve -corpus paintings -addr 127.0.0.1:8080 &
+//
+//	# drive it: 200 requests, 8 workers, Zipfian skew, seed 7
+//	loadgen -addr http://127.0.0.1:8080 -requests 200 -concurrency 8 \
+//	        -dist zipf -seed 7 -queries paintings
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/workload"
+)
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:8080", "base URL of the serve daemon")
+	requests := flag.Int("requests", 100, "total requests to offer")
+	concurrency := flag.Int("concurrency", 4, "closed-loop worker count")
+	rate := flag.Float64("rate", 0, "open-loop arrival rate in QPS (0 = closed loop)")
+	dist := flag.String("dist", workload.DistUniform, "query mix: uniform or zipf")
+	zipfS := flag.Float64("zipf-s", 0, "zipf exponent (>1; 0 = default)")
+	seed := flag.Int64("seed", 1, "workload seed (same seed = same request sequence)")
+	tenants := flag.String("tenants", "", "comma-separated tenant IDs assigned round-robin")
+	querySet := flag.String("queries", "xmark", "query set: xmark or paintings")
+	useIndex := flag.Bool("use-index", true, "answer queries via the index")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request HTTP timeout")
+	waitReady := flag.Duration("wait-ready", 0, "poll /readyz up to this long before driving load")
+	checkMetrics := flag.Bool("check-metrics", false, "after the run, assert /metrics parses and serve.admitted > 0")
+	flag.Parse()
+
+	var queries []workload.Query
+	switch *querySet {
+	case "xmark":
+		queries = workload.XMark()
+	case "paintings":
+		queries = workload.Paintings()
+	default:
+		log.Fatalf("unknown query set %q (want xmark or paintings)", *querySet)
+	}
+	var tenantList []string
+	if *tenants != "" {
+		tenantList = strings.Split(*tenants, ",")
+	}
+
+	if *waitReady > 0 {
+		if err := serve.WaitReady(*addr, *waitReady); err != nil {
+			log.Fatal(err)
+		}
+	}
+	rep, err := serve.RunLoad(serve.LoadOptions{
+		BaseURL:     *addr,
+		Queries:     queries,
+		Dist:        *dist,
+		ZipfS:       *zipfS,
+		Seed:        *seed,
+		Requests:    *requests,
+		Concurrency: *concurrency,
+		RateQPS:     *rate,
+		Tenants:     tenantList,
+		UseIndex:    *useIndex,
+		Timeout:     *timeout,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	mode := "closed-loop"
+	if *rate > 0 {
+		mode = fmt.Sprintf("open-loop @ %.1f qps", *rate)
+	}
+	fmt.Printf("loadgen: %s, %s mix, seed %d, concurrency %d\n%s\n",
+		mode, *dist, *seed, *concurrency, rep)
+	if *checkMetrics {
+		if err := serve.CheckServeMetrics(*addr); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("metrics check: serve.admitted > 0 and exposition parses")
+	}
+	if rep.Errors > 0 {
+		log.Fatalf("%d requests failed", rep.Errors)
+	}
+}

@@ -23,6 +23,16 @@
 //	# final query of the run)
 //	xwh trace last -corpus paintings -workload
 //
+//	# load, index, and serve queries over HTTP until SIGINT/SIGTERM
+//	xwh serve -corpus paintings -addr 127.0.0.1:8080 -serve-workers 4
+//
+// The serve daemon exposes POST /query (JSON body {"query","useIndex"},
+// tenant via the X-Tenant header), /billing.json, and the observability
+// endpoints (/metrics, /metrics.json, /trace.json, /healthz, /readyz);
+// admission control is tuned with -serve-queue, -tenant-qps, -tenant-burst
+// and -tenant-inflight, and the per-query resilience budgets with
+// -deadline, -retry-budget and -coalesce. Drive it with cmd/loadgen.
+//
 // -metrics-addr serves Prometheus text format on /metrics (plus
 // /metrics.json and /trace.json) while the process runs; -obs-smoke
 // scrapes the exporter once over HTTP and verifies it parses.
@@ -30,20 +40,25 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
+	"time"
 
 	"repro/internal/cloud/ec2"
 	"repro/internal/core"
 	"repro/internal/index"
 	"repro/internal/obs"
 	"repro/internal/pricing"
+	"repro/internal/serve"
 	"repro/internal/workload"
 	"repro/internal/xmark"
 )
@@ -57,13 +72,14 @@ func main() {
 		rest := os.Args[2:]
 		switch mode {
 		case "stats":
+		case "serve":
 		case "trace":
 			if len(rest) > 0 && !strings.HasPrefix(rest[0], "-") {
 				traceID = rest[0]
 				rest = rest[1:]
 			}
 		default:
-			fmt.Fprintf(os.Stderr, "unknown subcommand %q (want stats or trace)\n", mode)
+			fmt.Fprintf(os.Stderr, "unknown subcommand %q (want stats, trace or serve)\n", mode)
 			os.Exit(2)
 		}
 		os.Args = append(os.Args[:1:1], rest...)
@@ -85,6 +101,15 @@ func main() {
 	stats := flag.Bool("stats", false, "print warehouse statistics and the bill")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /metrics.json and /trace.json on this address while running")
 	obsSmoke := flag.Bool("obs-smoke", false, "scrape the metrics exporter once over HTTP, verify it parses, and report")
+	serveAddr := flag.String("addr", "127.0.0.1:8080", "serve: listen address for the query daemon")
+	serveWorkers := flag.Int("serve-workers", 0, "serve: scheduler pool size (0 = NumCPU); also the query-processor count")
+	serveQueue := flag.Int("serve-queue", 0, "serve: admission queue depth (0 = 4x workers)")
+	tenantQPS := flag.Float64("tenant-qps", 0, "serve: per-tenant sustained QPS quota (0 = unlimited)")
+	tenantBurst := flag.Int("tenant-burst", 0, "serve: per-tenant token-bucket burst (0 = 2x qps)")
+	tenantInflight := flag.Int("tenant-inflight", 0, "serve: per-tenant in-flight cap (0 = unlimited)")
+	queryDeadline := flag.Duration("deadline", 0, "serve: modeled per-query index-read deadline (0 = off)")
+	retryBudget := flag.Int("retry-budget", 0, "serve: per-query store-retry budget (0 = unlimited)")
+	coalesce := flag.Bool("coalesce", false, "serve: single-flight concurrent identical index fetches")
 	flag.Parse()
 
 	s, err := index.ByName(*strategy)
@@ -96,7 +121,10 @@ func main() {
 		log.Fatal(err)
 	}
 
-	wh, err := core.New(core.Config{Strategy: s, Backend: *backend, Trace: mode == "trace"})
+	wh, err := core.New(core.Config{
+		Strategy: s, Backend: *backend, Trace: mode == "trace",
+		QueryDeadline: *queryDeadline, QueryRetryBudget: *retryBudget, CoalesceLookups: *coalesce,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -154,6 +182,18 @@ func main() {
 	}
 	fmt.Printf("indexed %d documents under %s on %d %s instance(s): %d entries, %d items, %v modeled\n",
 		rep.Docs, s.Name(), *instances, typ.Name, rep.Entries, rep.Items, rep.Total)
+
+	if mode == "serve" {
+		runServe(wh, typ, serveConfig{
+			addr:           *serveAddr,
+			workers:        *serveWorkers,
+			queue:          *serveQueue,
+			tenantQPS:      *tenantQPS,
+			tenantBurst:    *tenantBurst,
+			tenantInflight: *tenantInflight,
+		})
+		return
+	}
 
 	processor := ec2.Launch(wh.Ledger(), typ)
 	if *remove != "" {
@@ -268,6 +308,59 @@ func main() {
 	}
 }
 
+// serveConfig carries the daemon flags.
+type serveConfig struct {
+	addr           string
+	workers        int
+	queue          int
+	tenantQPS      float64
+	tenantBurst    int
+	tenantInflight int
+}
+
+// runServe turns the loaded warehouse into the query daemon: a live
+// processor fleet behind admission control, served over HTTP until
+// SIGINT/SIGTERM, then drained gracefully.
+func runServe(wh *core.Warehouse, typ ec2.InstanceType, cfg serveConfig) {
+	backend := serve.NewWarehouseBackend(wh, cfg.workers, typ, core.WorkerOptions{})
+	book := pricing.Singapore2012()
+	s, err := serve.New(serve.Config{
+		Backend:  backend,
+		Registry: wh.Registry(),
+		Tracer:   wh.Tracer(),
+		Bill:     func() pricing.Invoice { return book.Bill(wh.Ledger().Snapshot()) },
+		Limits: serve.Limits{
+			Workers:        cfg.workers,
+			QueueDepth:     cfg.queue,
+			TenantQPS:      cfg.tenantQPS,
+			TenantBurst:    cfg.tenantBurst,
+			TenantInflight: cfg.tenantInflight,
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	addr, err := s.Start(cfg.addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lim := s.Limits()
+	fmt.Printf("serving queries on http://%s/query (%d workers, queue %d, tenant qps %.1f inflight %d)\n",
+		addr, backend.Workers(), lim.QueueDepth, lim.TenantQPS, lim.TenantInflight)
+	fmt.Printf("observability on http://%s/metrics, billing on http://%s/billing.json\n", addr, addr)
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	<-sigs
+	fmt.Println("draining...")
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		log.Fatalf("shutdown: %v", err)
+	}
+	fmt.Println("drained; bye")
+}
+
 // serveMetrics starts the HTTP exporter on addr and returns the bound
 // address (useful with port 0).
 func serveMetrics(addr string, wh *core.Warehouse) (string, error) {
@@ -306,6 +399,17 @@ func smokeScrape(serving string, wh *core.Warehouse) error {
 	if len(samples) == 0 {
 		return fmt.Errorf("exporter returned no samples")
 	}
-	fmt.Printf("obs-smoke: scraped and parsed %d samples from http://%s/metrics\n", len(samples), serving)
+	for _, probe := range []string{"/healthz", "/readyz"} {
+		pr, err := http.Get("http://" + serving + probe)
+		if err != nil {
+			return err
+		}
+		pr.Body.Close()
+		if pr.StatusCode != http.StatusOK {
+			return fmt.Errorf("%s answered %s", probe, pr.Status)
+		}
+	}
+	fmt.Printf("obs-smoke: scraped and parsed %d samples from http://%s/metrics; /healthz and /readyz ok\n",
+		len(samples), serving)
 	return nil
 }

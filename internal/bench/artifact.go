@@ -62,6 +62,24 @@ type TailEntry struct {
 	HedgeWasted int64 `json:"hedge_wasted"`
 }
 
+// ServeEntry is one (mix, concurrency) arm of the serving ladder: the
+// query daemon under seeded closed-loop load. Latency and throughput are
+// wall clock, so like Benchmarks they are informational across machines;
+// the offered sequence itself is deterministic per seed.
+type ServeEntry struct {
+	Dist          string  `json:"dist"`
+	Concurrency   int     `json:"concurrency"`
+	Requests      int     `json:"requests"`
+	Completed     int     `json:"completed"`
+	Shed          int     `json:"shed"`
+	Errors        int     `json:"errors"`
+	P50Ns         int64   `json:"p50_ns"`
+	P95Ns         int64   `json:"p95_ns"`
+	P99Ns         int64   `json:"p99_ns"`
+	ThroughputQPS float64 `json:"throughput_qps"`
+	CostPer1M     float64 `json:"cost_per_1m"`
+}
+
 // Artifact is the whole benchmark snapshot.
 type Artifact struct {
 	Version    int          `json:"version"`
@@ -73,6 +91,8 @@ type Artifact struct {
 	// Tail is modeled (not wall-clock) and deterministic per seed, so it
 	// diffs exactly across machines; absent in pre-tail artifacts.
 	Tail []TailEntry `json:"tail,omitempty"`
+	// Serve is the serving ladder; absent in pre-serve artifacts.
+	Serve []ServeEntry `json:"serve,omitempty"`
 }
 
 // RunArtifact measures the key hot-path benchmarks on the given scale and
@@ -232,6 +252,29 @@ func RunArtifact(scale Scale) (*Artifact, error) {
 			HedgeFired:  p.Fired,
 			HedgeWon:    p.Won,
 			HedgeWasted: p.WastedBill,
+		})
+	}
+
+	// The serving ladder reuses the 2LUPI warehouse the query benchmarks
+	// ran against; the daemon's processor fleet and frontend are torn down
+	// inside RunServe, leaving the warehouse untouched.
+	servePoints, err := RunServe(queryWarehouse, 42, 4)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range servePoints {
+		a.Serve = append(a.Serve, ServeEntry{
+			Dist:          p.Dist,
+			Concurrency:   p.Concurrency,
+			Requests:      p.Requests,
+			Completed:     p.Completed,
+			Shed:          p.Shed,
+			Errors:        p.Errors,
+			P50Ns:         p.P50.Nanoseconds(),
+			P95Ns:         p.P95.Nanoseconds(),
+			P99Ns:         p.P99.Nanoseconds(),
+			ThroughputQPS: p.ThroughputQPS,
+			CostPer1M:     p.CostPer1M,
 		})
 	}
 	return a, nil

@@ -1,0 +1,152 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/cloud/ec2"
+	"repro/internal/core"
+	"repro/internal/pricing"
+	"repro/internal/serve"
+	"repro/internal/workload"
+)
+
+// This file is the serving experiment: the query daemon under a seeded
+// closed-loop load across a core-count-derived concurrency ladder, uniform
+// and Zipfian mixes. It reports the latency percentiles, the saturation
+// throughput of each mix, shed rates, and $/1M-queries from the metered
+// billing delta — the serving-side counterpart of the paper's per-query
+// cost figures.
+
+// ServePoint is one (distribution, concurrency) arm of the ladder.
+type ServePoint struct {
+	Dist        string
+	Concurrency int
+	Requests    int
+	Completed   int
+	Shed        int
+	Errors      int
+
+	P50           time.Duration
+	P95           time.Duration
+	P99           time.Duration
+	ThroughputQPS float64
+	CostPer1M     float64
+}
+
+// ServeLadder derives the concurrency ladder from the core count: powers
+// of two from 1 up to 2x NumCPU, capped at 16 — the s3-benchmark style
+// thread ladder, bounded so the experiment stays quick.
+func ServeLadder() []int {
+	max := 2 * runtime.NumCPU()
+	if max > 16 {
+		max = 16
+	}
+	if max < 4 {
+		max = 4
+	}
+	var out []int
+	for c := 1; c <= max; c *= 2 {
+		out = append(out, c)
+	}
+	return out
+}
+
+// RunServe stands the serving daemon up over an already-indexed warehouse
+// (procs query processors, admission sized to the widest ladder rung) and
+// drives the ladder: for each mix and concurrency, a seeded closed-loop
+// run of 8 requests per worker. The same seed replays the same offered
+// sequence on every machine.
+func RunServe(w *core.Warehouse, seed int64, procs int) ([]ServePoint, error) {
+	if procs < 1 {
+		procs = 4
+	}
+	ladder := ServeLadder()
+	widest := ladder[len(ladder)-1]
+	backend := serve.NewWarehouseBackend(w, procs, ec2.XL, core.WorkerOptions{})
+	book := pricing.Singapore2012()
+	s, err := serve.New(serve.Config{
+		Backend:  backend,
+		Registry: w.Registry(),
+		Bill:     func() pricing.Invoice { return book.Bill(w.Ledger().Snapshot()) },
+		Limits:   serve.Limits{Workers: procs, QueueDepth: 4 * widest},
+	})
+	if err != nil {
+		return nil, err
+	}
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	}()
+	baseURL := "http://" + addr
+
+	var out []ServePoint
+	for _, dist := range []string{workload.DistUniform, workload.DistZipf} {
+		for _, conc := range ladder {
+			rep, err := serve.RunLoad(serve.LoadOptions{
+				BaseURL:     baseURL,
+				Queries:     workload.XMark(),
+				Dist:        dist,
+				Seed:        seed,
+				Requests:    8 * conc,
+				Concurrency: conc,
+				UseIndex:    true,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("bench: serve %s x%d: %w", dist, conc, err)
+			}
+			if rep.Errors > 0 {
+				return nil, fmt.Errorf("bench: serve %s x%d: %d transport errors", dist, conc, rep.Errors)
+			}
+			out = append(out, ServePoint{
+				Dist:          dist,
+				Concurrency:   conc,
+				Requests:      rep.Offered,
+				Completed:     rep.Completed,
+				Shed:          rep.ShedQueueFull + rep.ShedQuota,
+				Errors:        rep.Errors,
+				P50:           rep.P50,
+				P95:           rep.P95,
+				P99:           rep.P99,
+				ThroughputQPS: rep.ThroughputQPS,
+				CostPer1M:     rep.CostPer1M,
+			})
+		}
+	}
+	return out, nil
+}
+
+// ServeTable renders the serving ladder, one block per mix, with each
+// mix's saturation throughput (the best rung) underneath.
+func ServeTable(points []ServePoint) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Serving: closed-loop latency ladder over the live daemon (wall clock)")
+	for _, dist := range []string{workload.DistUniform, workload.DistZipf} {
+		fmt.Fprintf(&b, "  %s mix:\n", dist)
+		fmt.Fprintf(&b, "    %5s %5s %5s %10s %10s %10s %10s %12s\n",
+			"conc", "reqs", "shed", "p50", "p95", "p99", "q/s", "$/1M")
+		var saturation float64
+		for _, p := range points {
+			if p.Dist != dist {
+				continue
+			}
+			if p.ThroughputQPS > saturation {
+				saturation = p.ThroughputQPS
+			}
+			fmt.Fprintf(&b, "    %5d %5d %5d %10s %10s %10s %10.1f %12.2f\n",
+				p.Concurrency, p.Requests, p.Shed,
+				p.P50.Round(time.Microsecond), p.P95.Round(time.Microsecond),
+				p.P99.Round(time.Microsecond), p.ThroughputQPS, p.CostPer1M)
+		}
+		fmt.Fprintf(&b, "    saturation throughput: %.1f q/s\n", saturation)
+	}
+	return b.String()
+}

@@ -1,0 +1,74 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cloud/ec2"
+	"repro/internal/index"
+)
+
+func TestServeLadderShape(t *testing.T) {
+	ladder := ServeLadder()
+	if len(ladder) == 0 {
+		t.Fatal("empty ladder")
+	}
+	prev := 0
+	for _, c := range ladder {
+		if c <= prev {
+			t.Fatalf("ladder not strictly increasing: %v", ladder)
+		}
+		prev = c
+	}
+	if ladder[0] != 1 {
+		t.Fatalf("ladder must start at concurrency 1, got %v", ladder)
+	}
+	if last := ladder[len(ladder)-1]; last < 4 || last > 16 {
+		t.Fatalf("ladder top rung %d outside [4,16]", last)
+	}
+}
+
+// The serving experiment end-to-end: a daemon over a tiny warehouse,
+// both query mixes across the concurrency ladder, zero transport
+// errors, and a renderable table.
+func TestServeExperimentShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape test")
+	}
+	c, err := NewCorpus(Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, _, _, err := BuildWarehouse(c, index.TwoLUPI, "", 4, ec2.Large)
+	if err != nil {
+		t.Fatal(err)
+	}
+	points, err := RunServe(w, 42, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dists := map[string]bool{}
+	for _, p := range points {
+		dists[p.Dist] = true
+		if p.Errors != 0 {
+			t.Fatalf("%s c%d: %d transport errors", p.Dist, p.Concurrency, p.Errors)
+		}
+		if p.Completed+p.Shed != p.Requests {
+			t.Fatalf("%s c%d: completed %d + shed %d != offered %d",
+				p.Dist, p.Concurrency, p.Completed, p.Shed, p.Requests)
+		}
+		if p.Completed > 0 && (p.P50 <= 0 || p.P99 < p.P50) {
+			t.Fatalf("%s c%d: bad percentiles p50=%v p99=%v",
+				p.Dist, p.Concurrency, p.P50, p.P99)
+		}
+	}
+	if !dists["uniform"] || !dists["zipf"] {
+		t.Fatalf("expected both mixes, got %v", dists)
+	}
+	table := ServeTable(points)
+	for _, want := range []string{"uniform", "zipf", "saturation"} {
+		if !strings.Contains(table, want) {
+			t.Fatalf("table missing %q:\n%s", want, table)
+		}
+	}
+}

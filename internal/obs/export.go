@@ -220,9 +220,14 @@ func ParseProm(rd io.Reader) ([]PromSample, error) {
 //	/metrics       Prometheus text format
 //	/metrics.json  JSON registry dump
 //	/trace.json    span journal, oldest first
+//	/healthz       liveness: always 200 while the process serves
+//	/readyz        readiness: 200 when every ready check passes, else 503
 //
-// tr may be nil, in which case /trace.json serves an empty array.
-func Handler(r *Registry, tr *Tracer) http.Handler {
+// tr may be nil, in which case /trace.json serves an empty array. Each
+// ready func reports one readiness precondition (warehouse loaded, queue
+// accepting); a non-nil error makes /readyz answer 503 with the reason.
+// With no ready funcs, /readyz behaves like /healthz.
+func Handler(r *Registry, tr *Tracer, ready ...func() error) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -235,6 +240,21 @@ func Handler(r *Registry, tr *Tracer) http.Handler {
 	mux.HandleFunc("/trace.json", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		_ = tr.WriteJSON(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		for _, check := range ready {
+			if err := check(); err != nil {
+				w.WriteHeader(http.StatusServiceUnavailable)
+				fmt.Fprintf(w, "not ready: %v\n", err)
+				return
+			}
+		}
+		fmt.Fprintln(w, "ready")
 	})
 	return mux
 }
@@ -249,17 +269,18 @@ func StageOrder(names []string) {
 		SpanLease:          2,
 		SpanExtract:        3,
 		SpanUpload:         4,
-		SpanQuery:          5,
-		SpanSubmitQuery:    6,
-		SpanProcess:        7,
-		SpanLookup:         8,
-		SpanIndexGet:       9,
-		SpanScatter:        10,
-		SpanSemijoin:       11,
-		SpanTwigJoin:       12,
-		SpanEval:           13,
-		SpanResults:        14,
-		SpanFetchResults:   15,
+		SpanAdmit:          5,
+		SpanQuery:          6,
+		SpanSubmitQuery:    7,
+		SpanProcess:        8,
+		SpanLookup:         9,
+		SpanIndexGet:       10,
+		SpanScatter:        11,
+		SpanSemijoin:       12,
+		SpanTwigJoin:       13,
+		SpanEval:           14,
+		SpanResults:        15,
+		SpanFetchResults:   16,
 	}
 	sort.SliceStable(names, func(i, j int) bool {
 		ri, iok := rank[names[i]]
@@ -291,6 +312,11 @@ const (
 	SpanLease          = "lease"
 	SpanExtract        = "extract"
 	SpanUpload         = "upload"
+
+	// SpanAdmit wraps the serving daemon's admission decision for one HTTP
+	// request: quota check, queue wait, and scheduling onto a worker. Its
+	// children are the per-query pipeline spans.
+	SpanAdmit = "serve.admit"
 
 	SpanQuery       = "query"
 	SpanSubmitQuery = "submit.query"

@@ -1,0 +1,71 @@
+package serve
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cloud/ec2"
+	"repro/internal/core"
+)
+
+// Backend executes one admitted query to completion. The production
+// implementation is WarehouseBackend; tests substitute fakes to make
+// queueing and shedding deterministic.
+type Backend interface {
+	// Do runs the query and returns its outcome. A non-nil error means the
+	// serving machinery failed (timeout, closed backend); a query-level
+	// failure travels inside QueryOutcome.Err.
+	Do(queryText string, useIndex bool, timeout time.Duration) (*core.QueryOutcome, error)
+	// Close drains the backend: processors finish their current work, then
+	// stop.
+	Close() error
+}
+
+// WarehouseBackend serves queries over a live processor fleet: n query
+// processors polling the warehouse queues (step 9 of Figure 1), plus one
+// core.Frontend dispatching responses back to callers by query ID.
+type WarehouseBackend struct {
+	w        *core.Warehouse
+	frontend *core.Frontend
+	workers  []*core.Worker
+}
+
+// NewWarehouseBackend launches n query processors on fresh instances of the
+// given type and starts the response dispatcher. The warehouse must already
+// be loaded (and indexed, if queries will use the index).
+func NewWarehouseBackend(w *core.Warehouse, n int, typ ec2.InstanceType, opts core.WorkerOptions) *WarehouseBackend {
+	if n < 1 {
+		n = 1
+	}
+	b := &WarehouseBackend{w: w, frontend: core.NewFrontend(w)}
+	for i := 0; i < n; i++ {
+		b.workers = append(b.workers, w.StartQueryProcessor(ec2.Launch(w.Ledger(), typ), opts))
+	}
+	return b
+}
+
+// Do submits the query and waits up to timeout for its routed response.
+func (b *WarehouseBackend) Do(queryText string, useIndex bool, timeout time.Duration) (*core.QueryOutcome, error) {
+	return b.frontend.Do(queryText, useIndex, timeout)
+}
+
+// Workers reports the processor count.
+func (b *WarehouseBackend) Workers() int { return len(b.workers) }
+
+// Close stops the processors (each finishes its in-flight query) and then
+// the dispatcher.
+func (b *WarehouseBackend) Close() error {
+	for _, wk := range b.workers {
+		wk.Stop()
+	}
+	b.frontend.Close()
+	return nil
+}
+
+// Warehouse exposes the underlying warehouse (for billing snapshots).
+func (b *WarehouseBackend) Warehouse() *core.Warehouse { return b.w }
+
+var _ Backend = (*WarehouseBackend)(nil)
+
+// errBackendClosed is returned by backends that refuse work after Close.
+var errBackendClosed = fmt.Errorf("serve: backend closed")

@@ -1,0 +1,321 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/workload"
+)
+
+// This file is the load harness: a seeded closed-loop (or rate-paced
+// open-loop) generator that drives a running daemon over HTTP and reduces
+// the run to the serving numbers the paper's cost story needs — latency
+// percentiles, saturation throughput, shed rates, and $/1M-queries from
+// the metered billing delta.
+
+// LoadOptions configures one load run.
+type LoadOptions struct {
+	// BaseURL of the daemon, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Queries is the candidate set; the mix draws from it.
+	Queries []workload.Query
+	// Dist is workload.DistUniform or workload.DistZipf.
+	Dist string
+	// ZipfS is the Zipf exponent (0 selects workload.DefaultZipfS).
+	ZipfS float64
+	// Seed makes the request sequence deterministic.
+	Seed int64
+	// Requests is the total offered request count.
+	Requests int
+	// Concurrency is the closed-loop worker count (in-flight cap).
+	Concurrency int
+	// RateQPS, when positive, paces arrivals open-loop at this rate instead
+	// of issuing as fast as the Concurrency workers complete.
+	RateQPS float64
+	// Tenants are assigned round-robin across requests; empty means all
+	// requests run as the default tenant.
+	Tenants []string
+	// UseIndex is forwarded to every query.
+	UseIndex bool
+	// Timeout bounds one HTTP request; 0 selects DefaultQueryTimeout.
+	Timeout time.Duration
+}
+
+// LoadReport is the reduced outcome of a load run.
+type LoadReport struct {
+	Offered       int           `json:"offered"`
+	Completed     int           `json:"completed"`
+	ShedQueueFull int           `json:"shedQueueFull"`
+	ShedQuota     int           `json:"shedQuota"`
+	Errors        int           `json:"errors"`
+	Rows          int           `json:"rows"`
+	P50           time.Duration `json:"p50"`
+	P95           time.Duration `json:"p95"`
+	P99           time.Duration `json:"p99"`
+	Max           time.Duration `json:"max"`
+	Wall          time.Duration `json:"wall"`
+	ThroughputQPS float64       `json:"throughputQPS"`
+	CostUSD       float64       `json:"costUSD"`
+	CostPer1M     float64       `json:"costPer1M"`
+}
+
+// ShedRate is the fraction of offered requests shed by admission control.
+func (r *LoadReport) ShedRate() float64 {
+	if r.Offered == 0 {
+		return 0
+	}
+	return float64(r.ShedQueueFull+r.ShedQuota) / float64(r.Offered)
+}
+
+// String renders the report as one summary block.
+func (r *LoadReport) String() string {
+	return fmt.Sprintf(
+		"offered %d  completed %d  shed %d (queue %d, quota %d)  errors %d  rows %d\n"+
+			"latency p50 %s  p95 %s  p99 %s  max %s\n"+
+			"wall %s  throughput %.1f q/s  shed rate %.1f%%  cost $%.6f  $/1M %.2f",
+		r.Offered, r.Completed, r.ShedQueueFull+r.ShedQuota, r.ShedQueueFull, r.ShedQuota,
+		r.Errors, r.Rows, r.P50.Round(time.Microsecond), r.P95.Round(time.Microsecond),
+		r.P99.Round(time.Microsecond), r.Max.Round(time.Microsecond),
+		r.Wall.Round(time.Millisecond), r.ThroughputQPS, 100*r.ShedRate(), r.CostUSD, r.CostPer1M)
+}
+
+// loadJob is one pre-generated request of the deterministic sequence.
+type loadJob struct {
+	query  workload.Query
+	tenant string
+}
+
+// RunLoad drives one load run against a daemon and reduces it to a report.
+// The request sequence (query choice and tenant assignment) is fully
+// determined by the options, so the same options replay the same offered
+// load.
+func RunLoad(opts LoadOptions) (*LoadReport, error) {
+	if opts.Requests <= 0 {
+		return nil, fmt.Errorf("serve: load run needs Requests > 0")
+	}
+	if opts.Concurrency <= 0 {
+		opts.Concurrency = 1
+	}
+	if opts.Timeout <= 0 {
+		opts.Timeout = DefaultQueryTimeout
+	}
+	if opts.Dist == "" {
+		opts.Dist = workload.DistUniform
+	}
+	mix, err := workload.NewMix(opts.Queries, opts.Dist, opts.Seed, opts.ZipfS)
+	if err != nil {
+		return nil, err
+	}
+	jobs := make([]loadJob, opts.Requests)
+	for i := range jobs {
+		jobs[i].query = mix.Next()
+		if len(opts.Tenants) > 0 {
+			jobs[i].tenant = opts.Tenants[i%len(opts.Tenants)]
+		}
+	}
+
+	client := &http.Client{Timeout: opts.Timeout}
+	costBefore, haveBilling := fetchBillingTotal(client, opts.BaseURL)
+
+	// Feed jobs either as fast as workers drain them (closed loop) or at
+	// the configured arrival rate (open loop). In the open loop the channel
+	// is buffered so a stalled server queues arrivals at the generator
+	// rather than pausing the arrival process.
+	feed := make(chan loadJob, opts.Requests)
+	go func() {
+		defer close(feed)
+		var interval time.Duration
+		if opts.RateQPS > 0 {
+			interval = time.Duration(float64(time.Second) / opts.RateQPS)
+		}
+		for _, j := range jobs {
+			feed <- j
+			if interval > 0 {
+				time.Sleep(interval)
+			}
+		}
+	}()
+
+	var (
+		mu        sync.Mutex
+		latencies []time.Duration
+		rep       = &LoadReport{Offered: opts.Requests}
+	)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < opts.Concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for job := range feed {
+				lat, rows, outcome := doOne(client, opts.BaseURL, job, opts.UseIndex)
+				mu.Lock()
+				switch outcome {
+				case outcomeOK:
+					rep.Completed++
+					rep.Rows += rows
+					latencies = append(latencies, lat)
+				case outcomeShedQueue:
+					rep.ShedQueueFull++
+				case outcomeShedQuota:
+					rep.ShedQuota++
+				default:
+					rep.Errors++
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	rep.Wall = time.Since(start)
+	if rep.Wall > 0 {
+		rep.ThroughputQPS = float64(rep.Completed) / rep.Wall.Seconds()
+	}
+	rep.P50, rep.P95, rep.P99, rep.Max = percentiles(latencies)
+	if haveBilling {
+		if costAfter, ok := fetchBillingTotal(client, opts.BaseURL); ok && rep.Completed > 0 {
+			rep.CostUSD = costAfter - costBefore
+			rep.CostPer1M = rep.CostUSD / float64(rep.Completed) * 1e6
+		}
+	}
+	return rep, nil
+}
+
+const (
+	outcomeOK = iota
+	outcomeShedQueue
+	outcomeShedQuota
+	outcomeError
+)
+
+// doOne issues one query request and classifies its outcome.
+func doOne(client *http.Client, baseURL string, job loadJob, useIndex bool) (time.Duration, int, int) {
+	body, _ := json.Marshal(QueryRequest{Query: job.query.Text, UseIndex: useIndex})
+	req, err := http.NewRequest(http.MethodPost, baseURL+"/query", bytes.NewReader(body))
+	if err != nil {
+		return 0, 0, outcomeError
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if job.tenant != "" {
+		req.Header.Set(TenantHeader, job.tenant)
+	}
+	start := time.Now()
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, 0, outcomeError
+	}
+	defer resp.Body.Close()
+	lat := time.Since(start)
+	switch resp.StatusCode {
+	case http.StatusOK:
+		var qr QueryResponse
+		if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+			return lat, 0, outcomeError
+		}
+		return lat, qr.RowCount, outcomeOK
+	case http.StatusTooManyRequests:
+		var er ErrorResponse
+		_ = json.NewDecoder(resp.Body).Decode(&er)
+		if er.Reason == ReasonQueueFull {
+			return lat, 0, outcomeShedQueue
+		}
+		return lat, 0, outcomeShedQuota
+	default:
+		io.Copy(io.Discard, resp.Body)
+		return lat, 0, outcomeError
+	}
+}
+
+// percentiles reduces a latency sample to p50/p95/p99/max.
+func percentiles(ds []time.Duration) (p50, p95, p99, max time.Duration) {
+	if len(ds) == 0 {
+		return
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	at := func(q float64) time.Duration {
+		i := int(q*float64(len(ds))+0.5) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(ds) {
+			i = len(ds) - 1
+		}
+		return ds[i]
+	}
+	return at(0.50), at(0.95), at(0.99), ds[len(ds)-1]
+}
+
+// fetchBillingTotal reads the daemon's /billing.json total; ok is false
+// when the endpoint is absent or unreadable.
+func fetchBillingTotal(client *http.Client, baseURL string) (float64, bool) {
+	resp, err := client.Get(baseURL + "/billing.json")
+	if err != nil {
+		return 0, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return 0, false
+	}
+	var doc struct {
+		Total float64 `json:"total"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return 0, false
+	}
+	return doc.Total, true
+}
+
+// WaitReady polls the daemon's /readyz until it answers 200 or the timeout
+// elapses.
+func WaitReady(baseURL string, timeout time.Duration) error {
+	client := &http.Client{Timeout: 2 * time.Second}
+	deadline := time.Now().Add(timeout)
+	for {
+		resp, err := client.Get(baseURL + "/readyz")
+		if err == nil {
+			code := resp.StatusCode
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if code == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("serve: %s/readyz not ready after %s", baseURL, timeout)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// CheckServeMetrics scrapes /metrics and asserts the serving counters are
+// live: the exposition parses and xwh_serve_admitted_total is non-zero.
+// The CI smoke job uses it to prove traffic actually flowed through
+// admission control.
+func CheckServeMetrics(baseURL string) error {
+	resp, err := http.Get(baseURL + "/metrics")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("serve: /metrics answered %d", resp.StatusCode)
+	}
+	samples, err := obs.ParseProm(resp.Body)
+	if err != nil {
+		return err
+	}
+	for _, s := range samples {
+		if s.Name == "xwh_serve_admitted_total" && s.Value > 0 {
+			return nil
+		}
+	}
+	return fmt.Errorf("serve: xwh_serve_admitted_total missing or zero in /metrics")
+}

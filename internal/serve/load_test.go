@@ -1,0 +1,112 @@
+package serve
+
+import (
+	"context"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/pricing"
+)
+
+func shutdown(t *testing.T, s *Server) {
+	t.Helper()
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadReportSummary(t *testing.T) {
+	r := &LoadReport{
+		Offered:       100,
+		Completed:     90,
+		ShedQueueFull: 6,
+		ShedQuota:     4,
+		Rows:          180,
+		P50:           2 * time.Millisecond,
+		P95:           8 * time.Millisecond,
+		P99:           9 * time.Millisecond,
+		Max:           10 * time.Millisecond,
+		Wall:          time.Second,
+		ThroughputQPS: 90,
+		CostUSD:       0.0009,
+		CostPer1M:     10,
+	}
+	if got := r.ShedRate(); got != 0.10 {
+		t.Fatalf("ShedRate = %v, want 0.10", got)
+	}
+	zero := &LoadReport{}
+	if got := zero.ShedRate(); got != 0 {
+		t.Fatalf("empty ShedRate = %v, want 0", got)
+	}
+	s := r.String()
+	for _, want := range []string{"offered 100", "completed 90", "shed 10", "errors 0", "10.0%"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("report summary missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestPercentilesOrdering(t *testing.T) {
+	ds := make([]time.Duration, 100)
+	for i := range ds {
+		// Reverse order: percentiles must sort before ranking.
+		ds[i] = time.Duration(100-i) * time.Millisecond
+	}
+	p50, p95, p99, max := percentiles(ds)
+	if p50 != 50*time.Millisecond || p95 != 95*time.Millisecond ||
+		p99 != 99*time.Millisecond || max != 100*time.Millisecond {
+		t.Fatalf("percentiles = %v %v %v %v", p50, p95, p99, max)
+	}
+	if p50, p95, p99, max := percentiles(nil); p50 != 0 || p95 != 0 || p99 != 0 || max != 0 {
+		t.Fatal("empty percentiles should be zero")
+	}
+}
+
+// The billing endpoint serves the metered invoice, fetchBillingTotal reads
+// it back, and Limits reports the effective (defaulted) admission config.
+func TestBillingEndpointRoundTrip(t *testing.T) {
+	srv, err := New(Config{
+		Backend: &fakeBackend{},
+		Limits:  Limits{Workers: 2, QueueDepth: 4},
+		Bill: func() pricing.Invoice {
+			return pricing.Invoice{Lines: map[string]pricing.USD{"s3": 1.25, "sqs": 0.25}}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown(t, srv)
+	base := "http://" + addr
+
+	lim := srv.Limits()
+	if lim.Workers != 2 || lim.QueueDepth != 4 {
+		t.Fatalf("Limits = %+v", lim)
+	}
+
+	total, ok := fetchBillingTotal(http.DefaultClient, base)
+	if !ok {
+		t.Fatal("billing endpoint unreadable")
+	}
+	if total != 1.5 {
+		t.Fatalf("billing total = %v, want 1.5", total)
+	}
+	// A daemon without a Bill hook simply has no /billing.json.
+	noBill, err := New(Config{Backend: &fakeBackend{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr2, err := noBill.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown(t, noBill)
+	if _, ok := fetchBillingTotal(http.DefaultClient, "http://"+addr2); ok {
+		t.Fatal("expected no billing total without a Bill hook")
+	}
+}

@@ -1,0 +1,365 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/pricing"
+)
+
+// TenantHeader carries the caller's tenant ID; absent means TenantDefault.
+const TenantHeader = "X-Tenant"
+
+// TenantDefault is the tenant requests without a header are accounted to.
+const TenantDefault = "default"
+
+// DefaultQueryTimeout bounds how long one admitted query may take end to
+// end before the serving layer gives up on it.
+const DefaultQueryTimeout = 30 * time.Second
+
+// Config assembles a Server.
+type Config struct {
+	// Backend runs admitted queries. Required.
+	Backend Backend
+	// Limits configures admission control (zero values select defaults).
+	Limits Limits
+	// QueryTimeout bounds one query's backend execution; 0 selects
+	// DefaultQueryTimeout.
+	QueryTimeout time.Duration
+	// Registry receives the serve.* counters, gauges and histograms; nil
+	// disables metrics.
+	Registry *obs.Registry
+	// Tracer receives one serve.admit span per request; nil disables spans.
+	Tracer *obs.Tracer
+	// Bill, when set, serves the warehouse's metered invoice at
+	// /billing.json so the load harness can derive $/1M-queries.
+	Bill func() pricing.Invoice
+	// Ready lists extra readiness checks mounted on /readyz alongside the
+	// server's own queue-accepting check.
+	Ready []func() error
+	// Now is the admission clock; nil selects time.Now.
+	Now func() time.Time
+}
+
+// QueryRequest is the POST /query body.
+type QueryRequest struct {
+	Query    string `json:"query"`
+	UseIndex bool   `json:"useIndex"`
+}
+
+// ResponseRow is one result row on the wire.
+type ResponseRow struct {
+	URI  string   `json:"uri"`
+	Cols []string `json:"cols,omitempty"`
+}
+
+// QueryResponse is the POST /query success body.
+type QueryResponse struct {
+	ID        string        `json:"id"`
+	Columns   []string      `json:"columns,omitempty"`
+	Rows      []ResponseRow `json:"rows,omitempty"`
+	RowCount  int           `json:"rowCount"`
+	ElapsedMs float64       `json:"elapsedMs"`
+}
+
+// ErrorResponse is the body of every non-2xx answer. Shed requests carry
+// the machine-readable reason and the Retry-After hint in milliseconds.
+type ErrorResponse struct {
+	Error        string `json:"error"`
+	Reason       string `json:"reason,omitempty"`
+	RetryAfterMs int64  `json:"retryAfterMs,omitempty"`
+}
+
+// request is one admitted query waiting for (or on) a scheduler worker.
+type request struct {
+	query    string
+	useIndex bool
+	enqueued time.Time
+	reply    chan schedResult
+}
+
+type schedResult struct {
+	out *core.QueryOutcome
+	err error
+}
+
+// Server is the query-serving daemon: admission control plus a bounded
+// scheduler pool over a Backend, exposed as an HTTP handler.
+type Server struct {
+	backend Backend
+	adm     *Admission
+	timeout time.Duration
+	reg     *obs.Registry
+	tracer  *obs.Tracer
+	bill    func() pricing.Invoice
+	ready   []func() error
+
+	mu       sync.Mutex
+	draining bool
+	inflight sync.WaitGroup // admitted requests not yet answered
+
+	queue     chan *request
+	workerWG  sync.WaitGroup
+	httpSrv   *http.Server
+	httpErrCh chan error
+}
+
+// New builds the server and starts its scheduler pool. Callers serve
+// s.Handler() themselves or use Start/Shutdown for a managed listener.
+func New(cfg Config) (*Server, error) {
+	if cfg.Backend == nil {
+		return nil, fmt.Errorf("serve: Config.Backend is required")
+	}
+	if cfg.QueryTimeout <= 0 {
+		cfg.QueryTimeout = DefaultQueryTimeout
+	}
+	s := &Server{
+		backend: cfg.Backend,
+		adm:     NewAdmission(cfg.Limits, cfg.Now),
+		timeout: cfg.QueryTimeout,
+		reg:     cfg.Registry,
+		tracer:  cfg.Tracer,
+		bill:    cfg.Bill,
+		ready:   cfg.Ready,
+	}
+	lim := s.adm.Limits()
+	s.queue = make(chan *request, lim.QueueDepth)
+	for i := 0; i < lim.Workers; i++ {
+		s.workerWG.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// Limits returns the effective admission limits.
+func (s *Server) Limits() Limits { return s.adm.Limits() }
+
+// Ready reports whether the server is accepting queries (it is the queue-
+// accepting readiness check behind /readyz).
+func (s *Server) Ready() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return fmt.Errorf("serve: draining")
+	}
+	return nil
+}
+
+// Handler returns the full HTTP surface: POST /query, /billing.json when
+// configured, and the obs endpoints (/metrics, /metrics.json, /trace.json,
+// /healthz, /readyz) as the fallback.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", s.handleQuery)
+	if s.bill != nil {
+		mux.HandleFunc("/billing.json", s.handleBilling)
+	}
+	ready := append([]func() error{s.Ready}, s.ready...)
+	mux.Handle("/", obs.Handler(s.reg, s.tracer, ready...))
+	return mux
+}
+
+func (s *Server) worker() {
+	defer s.workerWG.Done()
+	for rq := range s.queue {
+		s.reg.Gauge("serve.queue.depth").Add(-1)
+		s.reg.Histogram("serve.queue.wait").ObserveWall(time.Since(rq.enqueued))
+		out, err := s.backend.Do(rq.query, rq.useIndex, s.timeout)
+		rq.reply <- schedResult{out: out, err: err}
+	}
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, ErrorResponse{Error: "POST only"})
+		return
+	}
+	var req QueryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, ErrorResponse{Error: "bad request body: " + err.Error()})
+		return
+	}
+	if _, err := core.ParseQueryText(req.Query); err != nil {
+		writeError(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+		return
+	}
+	tenant := r.Header.Get(TenantHeader)
+	if tenant == "" {
+		tenant = TenantDefault
+	}
+
+	span := s.tracer.Start(obs.SpanAdmit)
+	span.SetAttr("tenant", tenant)
+	defer span.End()
+	start := time.Now()
+
+	rq := &request{query: req.Query, useIndex: req.UseIndex, enqueued: start, reply: make(chan schedResult, 1)}
+
+	// Admission: the draining flag, quota charge, enqueue and WaitGroup
+	// increment commit atomically, so Shutdown's drain (set draining, then
+	// wait) can never miss an admitted request.
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		s.shed(w, span, http.StatusServiceUnavailable,
+			&Rejection{Reason: ReasonDraining, Tenant: tenant, RetryAfter: time.Second})
+		return
+	}
+	if rej := s.adm.Admit(tenant); rej != nil {
+		s.mu.Unlock()
+		s.shed(w, span, http.StatusTooManyRequests, rej)
+		return
+	}
+	select {
+	case s.queue <- rq:
+		s.inflight.Add(1)
+		s.mu.Unlock()
+	default:
+		s.adm.Refund(tenant)
+		s.mu.Unlock()
+		s.shed(w, span, http.StatusTooManyRequests,
+			&Rejection{Reason: ReasonQueueFull, Tenant: tenant, RetryAfter: s.timeout / 4})
+		return
+	}
+
+	s.reg.Counter("serve.admitted").Inc()
+	s.reg.Gauge("serve.queue.depth").Add(1)
+	s.reg.Gauge("serve.inflight").Set(int64(s.adm.Inflight()))
+
+	res := <-rq.reply
+	s.adm.Release(tenant)
+	s.inflight.Done()
+	s.reg.Gauge("serve.inflight").Set(int64(s.adm.Inflight()))
+
+	elapsed := time.Since(start)
+	s.reg.Histogram("serve.latency").ObserveWall(elapsed)
+
+	err := res.err
+	if err == nil && res.out != nil && res.out.Err != nil {
+		err = res.out.Err
+	}
+	if err != nil {
+		s.reg.Counter("serve.failed").Inc()
+		span.SetError(err)
+		writeError(w, http.StatusInternalServerError, ErrorResponse{Error: err.Error()})
+		return
+	}
+	s.reg.Counter("serve.completed").Inc()
+
+	resp := QueryResponse{ElapsedMs: float64(elapsed) / float64(time.Millisecond)}
+	if res.out != nil {
+		resp.ID = res.out.ID
+		span.SetAttr("query.id", res.out.ID)
+		if res.out.Result != nil {
+			resp.Columns = res.out.Result.Columns
+			for _, row := range res.out.Result.Rows {
+				resp.Rows = append(resp.Rows, ResponseRow{URI: row.URI, Cols: row.Cols})
+			}
+			resp.RowCount = len(res.out.Result.Rows)
+		}
+	}
+	span.SetAttrInt("rows", int64(resp.RowCount))
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// shed answers one rejected request: the reason is counted, attached to the
+// admission span, and reported to the caller with a Retry-After hint —
+// never silently dropped.
+func (s *Server) shed(w http.ResponseWriter, span *obs.Span, status int, rej *Rejection) {
+	switch rej.Reason {
+	case ReasonDraining:
+		s.reg.Counter("serve.rejected.draining").Inc()
+	default:
+		s.reg.Counter("serve.shed." + rej.Reason).Inc()
+	}
+	span.SetAttr("shed", rej.Reason)
+	span.SetError(rej)
+	secs := int64(math.Ceil(rej.RetryAfter.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
+	writeError(w, status, ErrorResponse{
+		Error:        rej.Error(),
+		Reason:       rej.Reason,
+		RetryAfterMs: rej.RetryAfter.Milliseconds(),
+	})
+}
+
+func (s *Server) handleBilling(w http.ResponseWriter, _ *http.Request) {
+	inv := s.bill()
+	writeJSON(w, http.StatusOK, struct {
+		Lines map[string]pricing.USD `json:"lines"`
+		Total pricing.USD            `json:"total"`
+	}{Lines: inv.Lines, Total: inv.Total()})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, e ErrorResponse) {
+	writeJSON(w, status, e)
+}
+
+// Start binds addr (use "127.0.0.1:0" for an ephemeral port) and serves
+// Handler() in the background, returning the bound address.
+func (s *Server) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.httpSrv = &http.Server{Handler: s.Handler()}
+	s.httpErrCh = make(chan error, 1)
+	go func() { s.httpErrCh <- s.httpSrv.Serve(ln) }()
+	return ln.Addr().String(), nil
+}
+
+// Shutdown drains the server gracefully: new requests are rejected with
+// 503, every already-admitted request runs to completion and is answered,
+// then the scheduler pool, HTTP listener and backend stop.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil
+	}
+	s.draining = true
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	close(s.queue)
+	s.workerWG.Wait()
+
+	var err error
+	if s.httpSrv != nil {
+		err = s.httpSrv.Shutdown(ctx)
+		if serveErr := <-s.httpErrCh; serveErr != nil && serveErr != http.ErrServerClosed && err == nil {
+			err = serveErr
+		}
+	}
+	if closeErr := s.backend.Close(); closeErr != nil && err == nil {
+		err = closeErr
+	}
+	return err
+}

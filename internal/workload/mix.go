@@ -1,0 +1,106 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+)
+
+// This file generates the request streams of the serving experiments: a
+// seeded, deterministic sequence of workload queries drawn either uniformly
+// or with Zipfian hot-key skew. The same seed always yields the identical
+// sequence, so a load run (and its shed/quota decisions downstream) can be
+// replayed exactly; the scenario-matrix work reuses it for skewed replay.
+
+// Distribution names accepted by NewMix.
+const (
+	DistUniform = "uniform"
+	DistZipf    = "zipf"
+)
+
+// DefaultZipfS is the default Zipf exponent: a mild but clearly visible
+// hot-key skew (rank 1 drawn roughly 4-5x as often as rank 10).
+const DefaultZipfS = 1.4
+
+// Mix is a seeded deterministic stream of workload queries. Next is safe
+// for concurrent use; draws are handed out in one global sequence, so the
+// i-th draw is the same query no matter how many goroutines consume it.
+type Mix struct {
+	mu      sync.Mutex
+	queries []Query
+	dist    string
+	rng     *rand.Rand
+	zipf    *rand.Zipf
+	counts  []int64
+	drawn   int64
+}
+
+// NewMix builds a request mix over the given query set. dist is DistUniform
+// or DistZipf; s is the Zipf exponent (must exceed 1; 0 selects
+// DefaultZipfS). Queries are ranked in slice order: under Zipf, queries[0]
+// is the hottest key.
+func NewMix(queries []Query, dist string, seed int64, s float64) (*Mix, error) {
+	if len(queries) == 0 {
+		return nil, fmt.Errorf("workload: empty query set")
+	}
+	m := &Mix{
+		queries: queries,
+		dist:    dist,
+		rng:     rand.New(rand.NewSource(seed)),
+		counts:  make([]int64, len(queries)),
+	}
+	switch dist {
+	case DistUniform:
+	case DistZipf:
+		if s == 0 {
+			s = DefaultZipfS
+		}
+		if s <= 1 {
+			return nil, fmt.Errorf("workload: zipf exponent %v must exceed 1", s)
+		}
+		m.zipf = rand.NewZipf(m.rng, s, 1, uint64(len(queries)-1))
+	default:
+		return nil, fmt.Errorf("workload: unknown distribution %q (want %s or %s)",
+			dist, DistUniform, DistZipf)
+	}
+	return m, nil
+}
+
+// Next draws the next query of the sequence.
+func (m *Mix) Next() Query {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var i int
+	if m.zipf != nil {
+		i = int(m.zipf.Uint64())
+	} else {
+		i = m.rng.Intn(len(m.queries))
+	}
+	m.counts[i]++
+	m.drawn++
+	return m.queries[i]
+}
+
+// Draw returns the next n queries of the sequence in one call.
+func (m *Mix) Draw(n int) []Query {
+	out := make([]Query, n)
+	for i := range out {
+		out[i] = m.Next()
+	}
+	return out
+}
+
+// Drawn reports how many queries have been handed out.
+func (m *Mix) Drawn() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.drawn
+}
+
+// Counts returns a copy of the per-rank draw counts (indexed like the query
+// set the mix was built over).
+func (m *Mix) Counts() []int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]int64(nil), m.counts...)
+}

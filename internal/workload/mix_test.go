@@ -1,0 +1,120 @@
+package workload
+
+import (
+	"sync"
+	"testing"
+)
+
+// Same seed, same distribution: the request sequence is identical draw for
+// draw. This is the determinism the serving load harness depends on.
+func TestMixSeededDeterminism(t *testing.T) {
+	for _, dist := range []string{DistUniform, DistZipf} {
+		a, err := NewMix(XMark(), dist, 42, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := NewMix(XMark(), dist, 42, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 500; i++ {
+			qa, qb := a.Next(), b.Next()
+			if qa.Name != qb.Name {
+				t.Fatalf("%s: draw %d diverged: %s vs %s", dist, i, qa.Name, qb.Name)
+			}
+		}
+		c, err := NewMix(XMark(), dist, 43, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		same := true
+		for i := 0; i < 500; i++ {
+			if a.Next().Name != c.Next().Name {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Errorf("%s: seeds 42 and 43 produced identical 500-draw sequences", dist)
+		}
+	}
+}
+
+// The Zipf mix must actually skew: the hottest rank is drawn far more often
+// than the coldest, while the uniform mix stays roughly flat.
+func TestMixZipfSkew(t *testing.T) {
+	z, err := NewMix(XMark(), DistZipf, 7, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	z.Draw(2000)
+	counts := z.Counts()
+	if counts[0] < 4*max64(counts[len(counts)-1], 1) {
+		t.Errorf("zipf rank0=%d not clearly hotter than last rank=%d", counts[0], counts[len(counts)-1])
+	}
+	u, err := NewMix(XMark(), DistUniform, 7, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u.Draw(2000)
+	ucounts := u.Counts()
+	for i, c := range ucounts {
+		if c < 100 || c > 400 {
+			t.Errorf("uniform rank %d drawn %d times out of 2000, expected ~200", i, c)
+		}
+	}
+	if z.Drawn() != 2000 || u.Drawn() != 2000 {
+		t.Errorf("drawn = %d/%d, want 2000/2000", z.Drawn(), u.Drawn())
+	}
+}
+
+// Concurrent consumers drain the same global sequence: the multiset of
+// draws matches the single-threaded sequence even if interleaving differs.
+func TestMixConcurrentDrawsStaySequence(t *testing.T) {
+	ref, err := NewMix(XMark(), DistZipf, 11, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref.Draw(400)
+
+	conc, err := NewMix(XMark(), DistZipf, 11, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for p := 0; p < 8; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				conc.Next()
+			}
+		}()
+	}
+	wg.Wait()
+	want, got := ref.Counts(), conc.Counts()
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("rank %d: concurrent count %d != sequential %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestMixRejectsBadConfig(t *testing.T) {
+	if _, err := NewMix(nil, DistUniform, 1, 0); err == nil {
+		t.Error("empty query set accepted")
+	}
+	if _, err := NewMix(XMark(), "diurnal", 1, 0); err == nil {
+		t.Error("unknown distribution accepted")
+	}
+	if _, err := NewMix(XMark(), DistZipf, 1, 0.9); err == nil {
+		t.Error("zipf exponent <= 1 accepted")
+	}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
