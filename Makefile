@@ -5,11 +5,11 @@ FUZZTIME ?= 20s
 # under it so unrelated churn doesn't flake the gate).
 COVER_MIN ?= 80.0
 
-.PHONY: build test race vet fmt bench benchartifact benchcmp benchsmoke obs-smoke servesmoke check fuzzsmoke coverage
+.PHONY: build test race vet fmt bench benchartifact benchcmp benchsmoke obs-smoke servesmoke mutatesmoke check fuzzsmoke coverage
 
 # BENCH_ARTIFACT is the checked-in benchmark snapshot this PR sequence
 # tracks; benchcmp diffs a fresh run against it.
-BENCH_ARTIFACT ?= BENCH_9.json
+BENCH_ARTIFACT ?= BENCH_10.json
 
 build:
 	$(GO) build ./...
@@ -71,6 +71,21 @@ servesmoke:
 		pid=$$!; \
 		/tmp/loadgen_smoke -addr http://127.0.0.1:18980 -wait-ready 30s \
 			-requests 40 -concurrency 4 -seed 7 -dist zipf -queries paintings \
+			-check-metrics; rc=$$?; \
+		kill -TERM $$pid 2>/dev/null; wait $$pid; exit $$rc
+
+# mutatesmoke stands a mutable-corpus daemon up on a loopback port, drives
+# a seeded mixed read/write loadgen burst (every 3rd request a document
+# write, every 4th write a DELETE), asserts zero errors plus live serve
+# metrics, then drains it with SIGTERM.
+mutatesmoke:
+	$(GO) build -o /tmp/xwh_smoke ./cmd/xwh
+	$(GO) build -o /tmp/loadgen_smoke ./cmd/loadgen
+	/tmp/xwh_smoke serve -mutable -docs 24 -addr 127.0.0.1:18981 -serve-workers 4 & \
+		pid=$$!; \
+		/tmp/loadgen_smoke -addr http://127.0.0.1:18981 -wait-ready 30s \
+			-requests 48 -concurrency 4 -seed 7 -queries xmark \
+			-write-every 3 -write-docs 24 -remove-every 4 \
 			-check-metrics; rc=$$?; \
 		kill -TERM $$pid 2>/dev/null; wait $$pid; exit $$rc
 

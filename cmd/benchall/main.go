@@ -10,7 +10,7 @@
 //
 // Experiments: table4, fig7, fig8, table5, fig9, fig9detail, fig10,
 // table6, fig11, fig12, fig13, table7, table8, ablations, advisor, obs,
-// shard, tail, serve.
+// shard, tail, serve, mutate.
 //
 // -artifact runs the key hot-path benchmarks plus the traced per-stage
 // table and writes a machine-readable JSON snapshot instead of the paper
@@ -84,8 +84,8 @@ func main() {
 		a, err := bench.RunArtifact(scale)
 		check(err)
 		check(bench.WriteArtifact(a, *artifact))
-		fmt.Printf("wrote %s (%d benchmarks, %d stages, %d serve points, scale %s)\n",
-			*artifact, len(a.Benchmarks), len(a.Stages), len(a.Serve), a.Scale)
+		fmt.Printf("wrote %s (%d benchmarks, %d stages, %d serve points, %d mutate arms, scale %s)\n",
+			*artifact, len(a.Benchmarks), len(a.Stages), len(a.Serve), len(a.Mutate), a.Scale)
 		return
 	}
 
@@ -211,6 +211,13 @@ func main() {
 		points, err := bench.RunServe(sw, 42, 4)
 		check(err)
 		fmt.Println(bench.ServeTable(points))
+	}
+	if sel("mutate") {
+		// The mixed read/write ladder builds its own mutable warehouses
+		// (one per arm) so compaction counters and billing stay isolated.
+		points, err := bench.RunMutate(corpus, 42, 4)
+		check(err)
+		fmt.Println(bench.MutateTable(points))
 	}
 	if sel("advisor") {
 		out, err := bench.RunAdvisorAccuracy(env, 2)

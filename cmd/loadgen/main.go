@@ -13,6 +13,12 @@
 //	# drive it: 200 requests, 8 workers, Zipfian skew, seed 7
 //	loadgen -addr http://127.0.0.1:8080 -requests 200 -concurrency 8 \
 //	        -dist zipf -seed 7 -queries paintings
+//
+// Against a mutable daemon (`xwh serve -mutable`), -write-every N turns
+// every Nth request into a document write (PUT /document with
+// revision-stamped content, or DELETE when -remove-every fires), making
+// the run a mixed read/write workload; -write-docs regenerates the
+// daemon's XMark corpus locally so the write URIs match.
 package main
 
 import (
@@ -24,6 +30,7 @@ import (
 
 	"repro/internal/serve"
 	"repro/internal/workload"
+	"repro/internal/xmark"
 )
 
 func main() {
@@ -40,6 +47,10 @@ func main() {
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request HTTP timeout")
 	waitReady := flag.Duration("wait-ready", 0, "poll /readyz up to this long before driving load")
 	checkMetrics := flag.Bool("check-metrics", false, "after the run, assert /metrics parses and serve.admitted > 0")
+	writeEvery := flag.Int("write-every", 0, "make every Nth request a document write (0 = read-only; needs a -mutable daemon)")
+	writeDocs := flag.Int("write-docs", 0, "size of the generated XMark write pool (URIs match the daemon's -docs corpus)")
+	writeDocBytes := flag.Int("write-docbytes", 16<<10, "approximate bytes per write-pool document (match the daemon's -docbytes)")
+	removeEvery := flag.Int("remove-every", 0, "make every Nth write a DELETE (the next round-robin update re-inserts)")
 	flag.Parse()
 
 	var queries []workload.Query
@@ -54,6 +65,18 @@ func main() {
 	var tenantList []string
 	if *tenants != "" {
 		tenantList = strings.Split(*tenants, ",")
+	}
+	var pool []serve.WriteDoc
+	if *writeEvery > 0 {
+		if *writeDocs <= 0 {
+			log.Fatal("-write-every needs -write-docs > 0")
+		}
+		cfg := xmark.DefaultConfig(*writeDocs)
+		cfg.TargetDocBytes = *writeDocBytes
+		for i := 0; i < cfg.Docs; i++ {
+			d := xmark.GenerateDoc(cfg, i)
+			pool = append(pool, serve.WriteDoc{URI: d.URI, Data: d.Data})
+		}
 	}
 
 	if *waitReady > 0 {
@@ -73,6 +96,9 @@ func main() {
 		Tenants:     tenantList,
 		UseIndex:    *useIndex,
 		Timeout:     *timeout,
+		WriteEvery:  *writeEvery,
+		WriteDocs:   pool,
+		RemoveEvery: *removeEvery,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -33,6 +33,11 @@
 // and -tenant-inflight, and the per-query resilience budgets with
 // -deadline, -retry-budget and -coalesce. Drive it with cmd/loadgen.
 //
+// With -mutable the warehouse runs a mutable corpus: -update and -remove
+// mutate documents atomically before querying, -compact-every sets the
+// delta-compaction interval, and the serve daemon additionally accepts
+// writes on PUT/DELETE /document?uri=... (PUT body = the new XML).
+//
 // -metrics-addr serves Prometheus text format on /metrics (plus
 // /metrics.json and /trace.json) while the process runs; -obs-smoke
 // scrapes the exporter once over HTTP and verifies it parses.
@@ -97,6 +102,9 @@ func main() {
 	noIndex := flag.Bool("no-index", false, "answer the query without using the index")
 	runWorkload := flag.Bool("workload", false, "run the 10-query XMark workload")
 	remove := flag.String("remove", "", "remove this document (file + index entries) before querying")
+	mutable := flag.Bool("mutable", false, "run a mutable corpus: atomic updates, snapshot reads, delta compaction")
+	compactEvery := flag.Int("compact-every", 16, "mutable: fold the write buffer after this many mutations (0 = only on demand)")
+	update := flag.String("update", "", "mutable: update one document before querying, as uri=path/to.xml")
 	repl := flag.Bool("repl", false, "read queries interactively from stdin after loading")
 	stats := flag.Bool("stats", false, "print warehouse statistics and the bill")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /metrics.json and /trace.json on this address while running")
@@ -124,6 +132,7 @@ func main() {
 	wh, err := core.New(core.Config{
 		Strategy: s, Backend: *backend, Trace: mode == "trace",
 		QueryDeadline: *queryDeadline, QueryRetryBudget: *retryBudget, CoalesceLookups: *coalesce,
+		MutableCorpus: *mutable, CompactEveryDocs: *compactEvery,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -196,6 +205,20 @@ func main() {
 	}
 
 	processor := ec2.Launch(wh.Ledger(), typ)
+	if *update != "" {
+		uri, path, ok := strings.Cut(*update, "=")
+		if !ok || uri == "" || path == "" {
+			log.Fatal("-update wants uri=path/to.xml")
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := wh.UpdateDocument(processor, uri, data); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("updated %s (%d bytes, corpus version bumped)\n", uri, len(data))
+	}
 	if *remove != "" {
 		if err := wh.RemoveDocument(processor, *remove); err != nil {
 			log.Fatal(err)
@@ -347,6 +370,9 @@ func runServe(wh *core.Warehouse, typ ec2.InstanceType, cfg serveConfig) {
 	lim := s.Limits()
 	fmt.Printf("serving queries on http://%s/query (%d workers, queue %d, tenant qps %.1f inflight %d)\n",
 		addr, backend.Workers(), lim.QueueDepth, lim.TenantQPS, lim.TenantInflight)
+	if backend.Writable() {
+		fmt.Printf("accepting writes on PUT/DELETE http://%s/document?uri=...\n", addr)
+	}
 	fmt.Printf("observability on http://%s/metrics, billing on http://%s/billing.json\n", addr, addr)
 
 	sigs := make(chan os.Signal, 1)

@@ -80,6 +80,26 @@ type ServeEntry struct {
 	CostPer1M     float64 `json:"cost_per_1m"`
 }
 
+// MutateEntry is one (write fraction, compaction interval) arm of the
+// mixed read/write ladder over a mutable-corpus warehouse: throughput and
+// latency are wall clock; the billed re-writes and modeled $/1M-mutations
+// are deterministic per seed.
+type MutateEntry struct {
+	WriteEvery     int     `json:"write_every"`
+	CompactEvery   int     `json:"compact_every"`
+	Requests       int     `json:"requests"`
+	Updates        int     `json:"updates"`
+	Removes        int     `json:"removes"`
+	P50Ns          int64   `json:"p50_ns"`
+	P95Ns          int64   `json:"p95_ns"`
+	WriteP95Ns     int64   `json:"write_p95_ns"`
+	ThroughputQPS  float64 `json:"throughput_qps"`
+	CompactPuts    int64   `json:"compact_puts"`
+	CompactDeletes int64   `json:"compact_deletes"`
+	WriteAmp       float64 `json:"write_amp"`
+	CostPer1M      float64 `json:"cost_per_1m_mutations"`
+}
+
 // Artifact is the whole benchmark snapshot.
 type Artifact struct {
 	Version    int          `json:"version"`
@@ -93,6 +113,9 @@ type Artifact struct {
 	Tail []TailEntry `json:"tail,omitempty"`
 	// Serve is the serving ladder; absent in pre-serve artifacts.
 	Serve []ServeEntry `json:"serve,omitempty"`
+	// Mutate is the mixed read/write ladder over a mutable corpus; absent
+	// in pre-mutability artifacts.
+	Mutate []MutateEntry `json:"mutate,omitempty"`
 }
 
 // RunArtifact measures the key hot-path benchmarks on the given scale and
@@ -275,6 +298,30 @@ func RunArtifact(scale Scale) (*Artifact, error) {
 			P99Ns:         p.P99.Nanoseconds(),
 			ThroughputQPS: p.ThroughputQPS,
 			CostPer1M:     p.CostPer1M,
+		})
+	}
+
+	// The mixed read/write ladder builds its own mutable warehouses from
+	// the same corpus — compaction counters and billing stay per-arm.
+	mutatePoints, err := RunMutate(c, 42, 4)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range mutatePoints {
+		a.Mutate = append(a.Mutate, MutateEntry{
+			WriteEvery:     p.WriteEvery,
+			CompactEvery:   p.CompactEvery,
+			Requests:       p.Requests,
+			Updates:        p.Updates,
+			Removes:        p.Removes,
+			P50Ns:          p.P50.Nanoseconds(),
+			P95Ns:          p.P95.Nanoseconds(),
+			WriteP95Ns:     p.WriteP95.Nanoseconds(),
+			ThroughputQPS:  p.ThroughputQPS,
+			CompactPuts:    p.CompactPuts,
+			CompactDeletes: p.CompactDeletes,
+			WriteAmp:       p.WriteAmp,
+			CostPer1M:      p.CostPer1M,
 		})
 	}
 	return a, nil

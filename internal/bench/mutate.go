@@ -1,0 +1,189 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/cloud/ec2"
+	"repro/internal/core"
+	"repro/internal/costmodel"
+	"repro/internal/index"
+	"repro/internal/pricing"
+	"repro/internal/serve"
+	"repro/internal/workload"
+)
+
+// This file is the mutable-corpus experiment: the query daemon over a
+// MutableCorpus warehouse under a seeded mixed read/write load. Each arm
+// varies the write fraction and the compaction interval and reports the
+// mixed throughput, read and write latency, the billed re-writes the LSM
+// delta buffer deferred into compaction passes (the write amplification
+// the paper's cost model never had to price), and the modeled
+// $/1M-mutations from the Section 7 update formula.
+
+// MutatePoint is one (write fraction, compaction interval) arm.
+type MutatePoint struct {
+	WriteEvery   int // every Nth request is a write
+	CompactEvery int // compaction pass every N mutations
+	Requests     int
+	Completed    int
+	Updates      int
+	Removes      int
+	Errors       int
+
+	P50           time.Duration // all-request latency
+	P95           time.Duration
+	WriteP95      time.Duration // write-only latency
+	ThroughputQPS float64
+
+	CompactPuts    int64   // items compaction re-wrote into the main store
+	CompactDeletes int64   // buffered tombstones it retired (billed as writes)
+	WriteAmp       float64 // billed re-writes per accepted mutation
+	CostPer1M      float64 // modeled $/1M mutations (puts + re-writes + VM share)
+}
+
+// MutateArms is the ladder: a write-heavy mix under eager and lazy
+// compaction (the knob trades billed re-writes for buffered-read overlay
+// work), plus a read-mostly mix at the eager setting.
+func MutateArms() []MutatePoint {
+	return []MutatePoint{
+		{WriteEvery: 2, CompactEvery: 8},
+		{WriteEvery: 2, CompactEvery: 32},
+		{WriteEvery: 4, CompactEvery: 8},
+	}
+}
+
+// RunMutate builds one mutable 2LUPI warehouse per arm (each arm owns its
+// compaction counters and billing ledger), stands the daemon up with procs
+// query processors, and drives a seeded closed-loop mixed load: every
+// WriteEvery-th request is a document write (every 4th write a DELETE, the
+// rest revision-stamped updates over the corpus's own documents). After
+// the run the residual delta buffer is drained so the billed re-writes
+// account for every accepted mutation.
+func RunMutate(c *Corpus, seed int64, procs int) ([]MutatePoint, error) {
+	if procs < 1 {
+		procs = 4
+	}
+	book := pricing.Singapore2012()
+	pool := make([]serve.WriteDoc, 0, len(c.Docs))
+	for _, d := range c.Docs {
+		pool = append(pool, serve.WriteDoc{URI: d.URI, Data: d.Data})
+	}
+
+	var out []MutatePoint
+	for _, arm := range MutateArms() {
+		p, err := runMutateArm(c, arm, pool, book, seed, procs)
+		if err != nil {
+			return nil, fmt.Errorf("bench: mutate 1/%d compact %d: %w", arm.WriteEvery, arm.CompactEvery, err)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+func runMutateArm(c *Corpus, arm MutatePoint, pool []serve.WriteDoc, book pricing.PriceBook, seed int64, procs int) (MutatePoint, error) {
+	w, _, _, err := BuildWarehouseCfg(c, core.Config{
+		Strategy:         index.TwoLUPI,
+		MutableCorpus:    true,
+		CompactEveryDocs: arm.CompactEvery,
+	}, procs, ec2.Large)
+	if err != nil {
+		return arm, err
+	}
+	backend := serve.NewWarehouseBackend(w, procs, ec2.XL, core.WorkerOptions{})
+	s, err := serve.New(serve.Config{
+		Backend:  backend,
+		Registry: w.Registry(),
+		Bill:     func() pricing.Invoice { return book.Bill(w.Ledger().Snapshot()) },
+		Limits:   serve.Limits{Workers: procs, QueueDepth: 8 * procs},
+	})
+	if err != nil {
+		return arm, err
+	}
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		return arm, err
+	}
+	rep, err := serve.RunLoad(serve.LoadOptions{
+		BaseURL:     "http://" + addr,
+		Queries:     workload.XMark(),
+		Dist:        workload.DistUniform,
+		Seed:        seed,
+		Requests:    16 * procs,
+		Concurrency: procs,
+		UseIndex:    true,
+		WriteEvery:  arm.WriteEvery,
+		WriteDocs:   pool,
+		RemoveEvery: 4,
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if shutErr := s.Shutdown(ctx); err == nil {
+		err = shutErr
+	}
+	if err != nil {
+		return arm, err
+	}
+	if rep.Errors > 0 {
+		return arm, fmt.Errorf("%d transport errors", rep.Errors)
+	}
+
+	// Drain the residual delta buffer so every accepted mutation's re-write
+	// is billed inside this arm.
+	drain := ec2.Launch(w.Ledger(), ec2.XL)
+	for pass := 0; w.Corpus().BufferedEntries() > 0; pass++ {
+		if pass > 1000 {
+			return arm, fmt.Errorf("delta buffer did not drain (%d entries left)", w.Corpus().BufferedEntries())
+		}
+		if _, err := w.CompactNow(drain); err != nil {
+			return arm, err
+		}
+	}
+
+	arm.Requests = rep.Offered
+	arm.Completed = rep.Completed
+	arm.Updates = rep.Updates
+	arm.Removes = rep.Removes
+	arm.Errors = rep.Errors
+	arm.P50 = rep.P50
+	arm.P95 = rep.P95
+	arm.WriteP95 = rep.WriteP95
+	arm.ThroughputQPS = rep.ThroughputQPS
+	arm.CompactPuts = w.Registry().Counter("index.compact.items").Value()
+	arm.CompactDeletes = w.Registry().Counter("index.compact.deletes").Value()
+	mutations := int64(arm.Updates + arm.Removes)
+	if mutations > 0 {
+		arm.WriteAmp = float64(arm.CompactPuts+arm.CompactDeletes) / float64(mutations)
+	}
+	cost := costmodel.UpdateCost(book, costmodel.UpdateMetrics{
+		Updates:        int64(arm.Updates),
+		Removes:        int64(arm.Removes),
+		CompactPuts:    arm.CompactPuts,
+		CompactDeletes: arm.CompactDeletes,
+		Hours:          backend.WriteHours() + drain.Elapsed().Hours(),
+		VMType:         ec2.XL.Name,
+	})
+	arm.CostPer1M = float64(costmodel.PerMillionUpdates(cost, mutations))
+	return arm, nil
+}
+
+// MutateTable renders the mixed read/write ladder.
+func MutateTable(points []MutatePoint) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Mutable corpus: mixed read/write ladder over the live daemon (wall clock)")
+	fmt.Fprintf(&b, "  %6s %8s %5s %5s %4s %10s %10s %8s %10s %6s %12s\n",
+		"writes", "compact", "reqs", "upd", "rm", "p50", "p95", "q/s", "re-writes", "amp", "$/1M-mut")
+	for _, p := range points {
+		fmt.Fprintf(&b, "  %6s %8d %5d %5d %4d %10s %10s %8.1f %10d %6.1f %12.2f\n",
+			fmt.Sprintf("1/%d", p.WriteEvery), p.CompactEvery,
+			p.Requests, p.Updates, p.Removes,
+			p.P50.Round(time.Microsecond), p.P95.Round(time.Microsecond),
+			p.ThroughputQPS, p.CompactPuts+p.CompactDeletes, p.WriteAmp, p.CostPer1M)
+	}
+	fmt.Fprintln(&b, "  re-writes: store items compaction folded (billed as index puts);")
+	fmt.Fprintln(&b, "  amp: billed re-writes per accepted mutation; $/1M-mut prices puts,")
+	fmt.Fprintln(&b, "  re-writes and the write VM's modeled hours (Section 7 update formula).")
+	return b.String()
+}

@@ -39,6 +39,7 @@ import (
 	"repro/internal/cloud/sqs"
 	"repro/internal/index"
 	"repro/internal/meter"
+	"repro/internal/mutate"
 	"repro/internal/obs"
 	"repro/internal/resilience"
 )
@@ -220,6 +221,20 @@ type Config struct {
 	// paper-reproduction experiments run without it.
 	CoalesceLookups bool
 
+	// MutableCorpus turns the warehouse into a live, mutable corpus:
+	// indexing routes through a versioned write buffer (internal/mutate)
+	// instead of writing the store directly, documents can be updated and
+	// removed atomically (UpdateDocument, RemoveDocument), every query pins
+	// a consistent snapshot version at admission, and a compactor folds the
+	// buffer into the main store in group-committed batches (CompactNow,
+	// or automatically via CompactEveryDocs). A fully compacted store is
+	// byte-identical to a from-scratch build of the same corpus.
+	MutableCorpus bool
+	// CompactEveryDocs triggers a compaction pass after that many
+	// mutations (inserts, updates, removes). 0 leaves compaction to
+	// explicit CompactNow calls. Only meaningful with MutableCorpus.
+	CompactEveryDocs int
+
 	// Chaos, when set, interposes the seeded fault-injection layer between
 	// the warehouse and all three cloud services — throttling, transient
 	// errors and partial batches on the index store; duplicate delivery and
@@ -294,6 +309,11 @@ type Warehouse struct {
 
 	chaosInj *chaos.Injector
 	retry    *kv.Retry
+
+	// corpus is the mutable-corpus state machine (nil unless
+	// Config.MutableCorpus); compactEvery its auto-compaction threshold.
+	corpus       *mutate.Corpus
+	compactEvery int
 
 	reg    *obs.Registry
 	tracer *obs.Tracer // nil unless Config.Trace
@@ -459,6 +479,18 @@ func New(cfg Config) (*Warehouse, error) {
 			w.cache.SetStoreShards(rt.ShardCount())
 		}
 		w.lookupOpts.Cache = w.cache
+	}
+	if cfg.MutableCorpus {
+		if cfg.BulkLoad {
+			// The bulk loader writes the store directly; on a mutable
+			// corpus all writes must route through the buffer, whose
+			// compaction provides the same batch packing.
+			return nil, fmt.Errorf("core: MutableCorpus is incompatible with BulkLoad")
+		}
+		// The corpus fronts the full store stack (retry/chaos/sharded), so
+		// compaction folds enjoy the same fault absorption as direct writes.
+		w.corpus = mutate.NewCorpus(w.store, mutate.Options{Obs: reg})
+		w.compactEvery = cfg.CompactEveryDocs
 	}
 	if err := w.files.CreateBucket(Bucket); err != nil {
 		return nil, err

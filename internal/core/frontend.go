@@ -422,7 +422,7 @@ func (w *Warehouse) bulkIndexerLoop(wk *Worker, in *ec2.Instance, opts WorkerOpt
 			dsp.End()
 			return
 		}
-		res, ex, err := w.extractDocument(in, msg.Body, dsp)
+		res, ex, _, err := w.extractDocument(in, msg.Body, dsp)
 		if wk.crashedNow() {
 			stopRenew()
 			dsp.End()

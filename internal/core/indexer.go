@@ -29,9 +29,11 @@ type IndexTaskResult struct {
 // extractDocument performs the EC2-side half of one loader message: fetch
 // the document, parse it, and build its index entries. The returned
 // extraction has not been written; ExtractTime covers the fetch latency and
-// the modeled parse/extract compute. The work is traced as an "extract"
-// child of parent (nil parent or tracer: no span).
-func (w *Warehouse) extractDocument(in *ec2.Instance, uri string, parent *obs.Span) (IndexTaskResult, *index.Extraction, error) {
+// the modeled parse/extract compute. The raw document bytes are returned
+// alongside so the mutable-corpus path can retain them for pinned snapshot
+// reads. The work is traced as an "extract" child of parent (nil parent or
+// tracer: no span).
+func (w *Warehouse) extractDocument(in *ec2.Instance, uri string, parent *obs.Span) (IndexTaskResult, *index.Extraction, []byte, error) {
 	esp := parent.Child(obs.SpanExtract)
 	res := IndexTaskResult{URI: uri}
 	obj, fetch, err := w.files.Get(Bucket, DocKey(uri))
@@ -39,14 +41,14 @@ func (w *Warehouse) extractDocument(in *ec2.Instance, uri string, parent *obs.Sp
 		err = fmt.Errorf("core: fetching %s: %w", uri, err)
 		esp.SetError(err)
 		esp.End()
-		return res, nil, err
+		return res, nil, nil, err
 	}
 	res.DocBytes = int64(len(obj.Data))
 	doc, err := xmltree.Parse(uri, obj.Data)
 	if err != nil {
 		esp.SetError(err)
 		esp.End()
-		return res, nil, err
+		return res, nil, nil, err
 	}
 	ex := index.Extract(w.Strategy, doc, w.indexOptions())
 	res.ExtractTime = fetch +
@@ -57,7 +59,7 @@ func (w *Warehouse) extractDocument(in *ec2.Instance, uri string, parent *obs.Sp
 	esp.SetAttrInt("doc_bytes", res.DocBytes)
 	esp.SetAttrInt("entry_bytes", ex.Bytes)
 	esp.End()
-	return res, ex, nil
+	return res, ex, obj.Data, nil
 }
 
 // indexDocument performs the work of one loader message on one instance
@@ -68,9 +70,25 @@ func (w *Warehouse) extractDocument(in *ec2.Instance, uri string, parent *obs.Sp
 // delivery yields exactly-once index contents. The returned durations are
 // modeled; the caller schedules them.
 func (w *Warehouse) indexDocument(in *ec2.Instance, uri string, parent *obs.Span) (IndexTaskResult, error) {
-	res, ex, err := w.extractDocument(in, uri, parent)
+	res, ex, data, err := w.extractDocument(in, uri, parent)
 	if err != nil {
 		return res, err
+	}
+	if w.corpus != nil {
+		// Mutable corpus: the extraction lands in the versioned write
+		// buffer as one atomic version bump — an insert for a new URI, an
+		// atomic delete+insert for an existing one. No store request is
+		// issued here; compaction pays the billed writes later.
+		usp := parent.Child(obs.SpanUpload)
+		ar := w.corpus.Apply(ex, data)
+		res.Stats = index.LoadStats{Entries: ex.Entries, Items: ar.Items, Bytes: ar.Bytes}
+		usp.SetAttrInt("items", int64(ar.Items))
+		usp.SetAttrInt("version", int64(ar.Version))
+		usp.End()
+		if err := w.maybeCompact(in); err != nil {
+			return res, err
+		}
+		return res, nil
 	}
 	usp := parent.Child(obs.SpanUpload)
 	upload, stats, err := index.WriteExtraction(w.store, ex, w.cache)
@@ -286,7 +304,7 @@ func (w *Warehouse) bulkIndexLoop(fleet []*ec2.Instance, report *IndexReport, pe
 		t := &indexTask{msg: msg, rtt: rtt, in: fleet[i%len(fleet)]}
 		t.span = w.tracer.Start(obs.SpanIndexDoc)
 		t.span.SetAttr("uri", msg.Body)
-		t.res, t.ex, t.err = w.extractDocument(t.in, msg.Body, t.span)
+		t.res, t.ex, _, t.err = w.extractDocument(t.in, msg.Body, t.span)
 		return t
 	}
 	var next func() *indexTask
@@ -429,7 +447,24 @@ func (w *Warehouse) nackLoaderMessage(receipt string) {
 // first (while the file is still readable), then the file itself. This is
 // an extension beyond the paper's append-only warehouse; the modeled work
 // is scheduled on the given instance.
+//
+// On a mutable corpus the removal is manifest-driven: the document's
+// retained contribution is tombstoned in the write buffer as one atomic
+// version bump — no fetch, no re-extraction — and queries pinned before
+// the bump keep seeing the document until they drain. Mutable removal is
+// idempotent: re-running a crashed removal (index already tombstoned, or
+// file already deleted) converges to the same fully removed state, like
+// S3's own delete of a missing key.
 func (w *Warehouse) RemoveDocument(in *ec2.Instance, uri string) error {
+	if w.corpus != nil {
+		w.corpus.Remove(uri)
+		drop, err := w.files.Delete(Bucket, DocKey(uri))
+		if err != nil {
+			return fmt.Errorf("core: removing %s: %w", uri, err)
+		}
+		in.Run(drop)
+		return w.maybeCompact(in)
+	}
 	obj, fetch, err := w.files.Get(Bucket, DocKey(uri))
 	if err != nil {
 		return fmt.Errorf("core: removing %s: %w", uri, err)

@@ -11,6 +11,7 @@ import (
 	"repro/internal/cloud/ec2"
 	"repro/internal/engine"
 	"repro/internal/index"
+	"repro/internal/mutate"
 	"repro/internal/obs"
 	"repro/internal/pattern"
 	"repro/internal/xmltree"
@@ -85,9 +86,22 @@ type QueryStats struct {
 // always be nil, and every span operation degrades to a no-op when the
 // tracer is off.
 func (w *Warehouse) processQuery(in *ec2.Instance, msg queryMessage, parent *obs.Span) (res *engine.Result, stats QueryStats, err error) {
+	return w.processQueryView(in, msg, parent, nil)
+}
+
+// processQueryView is processQuery pinned to an explicit snapshot view.
+// On a mutable corpus a nil view pins the current version at admission and
+// releases it when the query settles; every index look-up and document
+// fetch of the query then sees that one consistent corpus version, no
+// matter how much indexing churn or compaction runs concurrently.
+func (w *Warehouse) processQueryView(in *ec2.Instance, msg queryMessage, parent *obs.Span, view *mutate.View) (res *engine.Result, stats QueryStats, err error) {
 	stats = QueryStats{ID: msg.ID, Strategy: msg.Strategy}
 	if msg.NoIndex {
 		stats.Strategy = "none"
+	}
+	if view == nil && w.corpus != nil {
+		view = w.corpus.Pin()
+		defer view.Release()
 	}
 	sp := w.tracer.ChildOf(parent, obs.SpanProcess)
 	sp.SetAttr("id", msg.ID)
@@ -114,9 +128,17 @@ func (w *Warehouse) processQuery(in *ec2.Instance, msg queryMessage, parent *obs
 	// Steps 10-12: index look-up and local plan, on the coordinating core.
 	var perPattern [][]string
 	if msg.NoIndex {
-		uris, err := w.DocumentURIs()
-		if err != nil {
-			return nil, stats, err
+		var uris []string
+		if view != nil {
+			// Snapshot-consistent corpus listing: the file store may
+			// already hold documents newer than the pinned version.
+			uris = w.corpus.URIs(view.Version())
+		} else {
+			var err error
+			uris, err = w.DocumentURIs()
+			if err != nil {
+				return nil, stats, err
+			}
 		}
 		perPattern = make([][]string, len(q.Patterns))
 		for i := range perPattern {
@@ -126,6 +148,9 @@ func (w *Warehouse) processQuery(in *ec2.Instance, msg queryMessage, parent *obs
 		lsp := sp.Child(obs.SpanLookup)
 		lopts := w.lookupOpts
 		lopts.Span = lsp
+		if view != nil {
+			lopts.View = view
+		}
 		// Each query gets a fresh modeled-time/retry budget (nil when no
 		// deadline or retry pool is configured); the look-up charges its
 		// store latencies against it and stops once it is spent.
@@ -177,7 +202,7 @@ func (w *Warehouse) processQuery(in *ec2.Instance, msg queryMessage, parent *obs
 	// first-error-wins cancellation; the modeled time is then scheduled on
 	// the instance in URI order, so modeled times, billing and error
 	// reporting are identical to the sequential pipeline at any pool size.
-	fetched, ferr := w.fetchDocuments(uris)
+	fetched, ferr := w.fetchDocuments(uris, view)
 	docs := make(map[string]*xmltree.Document, len(uris))
 	for i, r := range fetched {
 		if r.err != nil {
@@ -252,21 +277,50 @@ type fetchedDoc struct {
 // cancel channel, so no new tasks start after an error. The returned error
 // only signals that cancellation fired; callers scan the slice in order for
 // the authoritative per-URI error.
-func (w *Warehouse) fetchDocuments(uris []string) ([]fetchedDoc, error) {
+//
+// With a pinned view, each document resolves at the view's corpus version:
+// superseded versions read their retained snapshot bytes from the
+// warehouse's memory (no billed fetch), the current version reads the file
+// store as always. A concurrent update can overwrite the file between the
+// resolution and the fetch, so the fetched bytes are re-checked against
+// the view afterwards — the retained copy wins if the fetch raced.
+func (w *Warehouse) fetchDocuments(uris []string, view *mutate.View) ([]fetchedDoc, error) {
 	results := make([]fetchedDoc, len(uris))
+	parseInto := func(i int, data []byte, fetch time.Duration) error {
+		doc, err := xmltree.Parse(uris[i], data)
+		if err != nil {
+			results[i].err = err
+			return err
+		}
+		results[i] = fetchedDoc{doc: doc, fetch: fetch, bytes: int64(len(data))}
+		return nil
+	}
 	fetchOne := func(i int) error {
+		if view != nil {
+			data, present := view.DocState(uris[i])
+			if !present {
+				// Postings at the pinned version never name documents
+				// removed at or before it; surface the inconsistency.
+				err := fmt.Errorf("core: %s absent at corpus version %d", uris[i], view.Version())
+				results[i].err = err
+				return err
+			}
+			if data != nil {
+				return parseInto(i, data, 0)
+			}
+		}
 		obj, fetch, err := w.files.Get(Bucket, DocKey(uris[i]))
 		if err != nil {
 			results[i].err = err
 			return err
 		}
-		doc, err := xmltree.Parse(uris[i], obj.Data)
-		if err != nil {
-			results[i].err = err
-			return err
+		data := obj.Data
+		if view != nil {
+			if retained, _ := view.DocState(uris[i]); retained != nil {
+				data = retained // the billed fetch raced an update
+			}
 		}
-		results[i] = fetchedDoc{doc: doc, fetch: fetch, bytes: int64(len(obj.Data))}
-		return nil
+		return parseInto(i, data, fetch)
 	}
 
 	workers := w.docWorkers()
@@ -363,6 +417,19 @@ func decodeResult(data []byte) (*engine.Result, error) {
 // them (18) and deletes the response message. useIndex=false is the
 // "no index" baseline of Section 8.
 func (w *Warehouse) RunQueryOn(in *ec2.Instance, queryText string, useIndex bool) (*engine.Result, QueryStats, error) {
+	return w.runQueryView(in, queryText, useIndex, nil)
+}
+
+// RunQueryOnView executes one query synchronously against the caller's
+// pinned snapshot view instead of the version current at admission. Views
+// cannot serialize through the query queue, so this exists only on the
+// synchronous driver; the property tests use it to replay a query at a
+// historical corpus version while mutations continue.
+func (w *Warehouse) RunQueryOnView(in *ec2.Instance, queryText string, view *mutate.View) (*engine.Result, QueryStats, error) {
+	return w.runQueryView(in, queryText, true, view)
+}
+
+func (w *Warehouse) runQueryView(in *ec2.Instance, queryText string, useIndex bool, view *mutate.View) (*engine.Result, QueryStats, error) {
 	id := w.nextQueryID()
 	root := w.tracer.Start(obs.SpanQuery)
 	root.SetAttr("id", id)
@@ -393,7 +460,7 @@ func (w *Warehouse) RunQueryOn(in *ec2.Instance, queryText string, useIndex bool
 		return nil, QueryStats{}, err
 	}
 
-	_, stats, perr := w.processQuery(in, parsed, root)
+	_, stats, perr := w.processQueryView(in, parsed, root, view)
 	root.AddModeled(stats.ResponseTime)
 	resp := responseMessage{ID: parsed.ID}
 	if perr != nil {

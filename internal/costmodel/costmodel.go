@@ -138,6 +138,50 @@ func ProvisionedThroughputCost(p pricing.PriceBook, shards int, writeUnits, read
 	return USD(shards) * perShard * USD(hours)
 }
 
+// UpdateMetrics carries the write-path quantities of a mutable warehouse
+// over an operating window: the document mutations applied and the billed
+// re-writes the delta compactor issued folding them into the main index.
+type UpdateMetrics struct {
+	// Updates counts UpdateDocument calls. Each stores the new content
+	// (one S3 put) and re-extracts the document on the instance; the index
+	// writes themselves are deferred to the compactor.
+	Updates int64
+	// Removes counts RemoveDocument calls. The S3 delete is free (as on
+	// real S3) and the tombstones bill only when compacted, so removes
+	// contribute instance time but no per-call request charge.
+	Removes int64
+	// CompactPuts and CompactDeletes count the index write operations the
+	// compactor issued. DynamoDB bills deletes as writes, so both price at
+	// IDXput$ — these are the "billed re-writes" of the LSM trade-off:
+	// raising the compaction interval amortizes superseded versions before
+	// they ever reach the store, shrinking this pair at the price of a
+	// larger read-side merge buffer.
+	CompactPuts    int64
+	CompactDeletes int64
+	// Hours is the instance time spent parsing, extracting and compacting.
+	Hours float64
+	// VMType is the instance type that ran the write path.
+	VMType string
+}
+
+// UpdateCost extends the Section 7 model to the mutable warehouse: one S3
+// put per update, one index write per compactor put or delete, and the
+// write path's instance time.
+func UpdateCost(p pricing.PriceBook, m UpdateMetrics) USD {
+	return p.STPut*USD(m.Updates) +
+		p.IDXPut*USD(m.CompactPuts+m.CompactDeletes) +
+		p.VMHour[m.VMType]*USD(m.Hours)
+}
+
+// PerMillionUpdates normalizes a window cost to dollars per million
+// mutations, the unit the mutate benchmark reports.
+func PerMillionUpdates(cost USD, mutations int64) USD {
+	if mutations <= 0 {
+		return 0
+	}
+	return cost / USD(mutations) * 1_000_000
+}
+
 // Benefit is the per-run saving of strategy I on workload W: the cost of
 // answering W with no index minus the cost with the index (Section 8.3).
 func Benefit(noIndex, indexed USD) USD { return noIndex - indexed }

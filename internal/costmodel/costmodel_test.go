@@ -113,6 +113,46 @@ func TestAmortization(t *testing.T) {
 	}
 }
 
+func TestUpdateCostFormula(t *testing.T) {
+	p := pricing.Singapore2012()
+	m := UpdateMetrics{
+		Updates:        1000,
+		Removes:        100,
+		CompactPuts:    30000,
+		CompactDeletes: 4000,
+		Hours:          0.4,
+		VMType:         "l",
+	}
+	got := UpdateCost(p, m)
+	want := p.STPut*1000 + p.IDXPut*34000 + p.VMHour["l"]*0.4
+	if !approx(got, want) {
+		t.Errorf("UpdateCost = %v, want %v", got, want)
+	}
+	// Compaction deletes bill like puts (DynamoDB prices deletes as
+	// writes), so shifting volume between them cannot change the bill.
+	shifted := m
+	shifted.CompactPuts, shifted.CompactDeletes = 4000, 30000
+	if other := UpdateCost(p, shifted); !approx(got, other) {
+		t.Errorf("puts/deletes not interchangeable: %v vs %v", got, other)
+	}
+	// A sparser compaction schedule that amortizes superseded versions
+	// must come out cheaper.
+	sparse := m
+	sparse.CompactPuts /= 2
+	if c := UpdateCost(p, sparse); c >= got {
+		t.Errorf("halving billed re-writes did not reduce cost: %v vs %v", c, got)
+	}
+}
+
+func TestPerMillionUpdates(t *testing.T) {
+	if got := PerMillionUpdates(2, 500_000); !approx(got, 4) {
+		t.Errorf("PerMillionUpdates = %v, want 4", got)
+	}
+	if got := PerMillionUpdates(2, 0); got != 0 {
+		t.Errorf("PerMillionUpdates with no mutations = %v, want 0", got)
+	}
+}
+
 func TestBenefit(t *testing.T) {
 	if got := Benefit(10, 3); !approx(got, 7) {
 		t.Errorf("Benefit = %v", got)

@@ -1,0 +1,92 @@
+package idblock
+
+import (
+	"sort"
+
+	"repro/internal/xmltree"
+)
+
+// MergeTombstones merges the segments of one (key, URI) entry like Merge
+// while subtracting every identifier whose Pre appears in dead — the
+// posting-decode-time delete visibility for the mutable warehouse: dead is
+// the removed document version's contribution to this key, so after the
+// subtraction the merged set reads as if that version had never been
+// indexed. Pre numbers are unique within a document, so Pre alone
+// identifies a node.
+//
+// Blocks whose pre span contains no dead identifier pass through with their
+// payloads still encoded (and decode lazily, exactly as after Merge); only
+// blocks that intersect the tombstone set are decoded, filtered, and
+// re-summarized. ok=false mirrors Merge: the segments' pre ranges overlap
+// and the caller must fall back to decode-everything-and-subtract.
+func MergeTombstones(sets []*Set, dead *Set) (merged *Set, ok bool) {
+	merged, ok = Merge(sets)
+	if !ok || merged.Len() == 0 || dead.Len() == 0 {
+		return merged, ok
+	}
+	deadAll, err := dead.All()
+	if err != nil {
+		// A corrupt tombstone set cannot be applied lazily; make the
+		// caller take the eager path, which surfaces the decode error.
+		return nil, false
+	}
+	pres := make([]int32, len(deadAll))
+	for i, id := range deadAll {
+		pres[i] = id.Pre
+	}
+	// dead's blocks are pre-ordered with non-overlapping ranges, so pres is
+	// sorted; guard anyway so a hand-built Set cannot break the searches.
+	if !sort.SliceIsSorted(pres, func(i, j int) bool { return pres[i] < pres[j] }) {
+		sort.Slice(pres, func(i, j int) bool { return pres[i] < pres[j] })
+	}
+	out := &Set{}
+	var decoded [][]xmltree.NodeID
+	anyDecoded := false
+	for i := range merged.blocks {
+		b := merged.blocks[i]
+		// First dead pre that could fall inside this block's span.
+		lo := sort.Search(len(pres), func(j int) bool { return pres[j] >= b.MinPre })
+		if lo == len(pres) || pres[lo] > b.MaxPre {
+			out.blocks = append(out.blocks, b)
+			out.total += b.Count
+			decoded = append(decoded, nil)
+			continue
+		}
+		ids, err := merged.AppendBlockArena(nil, i, nil)
+		if err != nil {
+			return nil, false
+		}
+		kept := ids[:0]
+		j := lo
+		for _, id := range ids {
+			for j < len(pres) && pres[j] < id.Pre {
+				j++
+			}
+			if j < len(pres) && pres[j] == id.Pre {
+				continue
+			}
+			kept = append(kept, id)
+		}
+		if len(kept) == 0 {
+			continue
+		}
+		if len(kept) == len(ids) {
+			// Span intersected but no identifier matched: keep encoded.
+			out.blocks = append(out.blocks, b)
+			out.total += b.Count
+			decoded = append(decoded, nil)
+			continue
+		}
+		out.blocks = append(out.blocks, block{Header: summarize(kept)})
+		out.total += len(kept)
+		decoded = append(decoded, kept)
+		anyDecoded = true
+	}
+	if out.total == 0 {
+		return nil, true
+	}
+	if anyDecoded {
+		out.decoded = decoded
+	}
+	return out, true
+}

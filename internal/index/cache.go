@@ -36,6 +36,15 @@ type cacheKey struct {
 	key   string
 	kind  PostingKind
 	shard int
+	// ver is the key's write-buffer overlay stamp when the cache fronts a
+	// mutable corpus (0 otherwise, and for keys no mutation ever touched).
+	// A replace entry or a compaction fold advances the stamp, so reads
+	// pinned after the mutation key a fresh entry while reads pinned
+	// before keep hitting the old one — version coherence without
+	// explicit invalidation. Live tombstones deliberately do not advance
+	// the stamp: deletions are subtracted from the shared carrier entry
+	// at posting-decode time.
+	ver uint64
 }
 
 // cacheEntry is one resident posting set with its approximate byte cost.
@@ -182,8 +191,10 @@ func (c *PostingCache) put(k cacheKey, postings map[string]*Posting) int64 {
 	return evicted
 }
 
-// Invalidate drops every cached kind of one (table, key) pair. Writers call
-// it after mutating the store so readers refetch fresh postings.
+// Invalidate drops every cached kind of one (table, key) pair — at every
+// overlay stamp, since a direct store write invalidates all versioned
+// carriers of the key. Writers call it after mutating the store so readers
+// refetch fresh postings.
 func (c *PostingCache) Invalidate(table, key string) {
 	shard := c.keyShard(key)
 	for _, kind := range []PostingKind{URIPosting, PathPosting, IDPosting} {
@@ -194,6 +205,15 @@ func (c *PostingCache) Invalidate(table, key string) {
 			sh.bytes -= el.Value.(*cacheEntry).bytes
 			sh.lru.Remove(el)
 			delete(sh.entries, k)
+		}
+		// Versioned entries (mutable corpora) share the shard with the
+		// unversioned one; sweep any stamp of this (table, key, kind).
+		for vk, el := range sh.entries {
+			if vk.table == k.table && vk.key == k.key && vk.kind == k.kind {
+				sh.bytes -= el.Value.(*cacheEntry).bytes
+				sh.lru.Remove(el)
+				delete(sh.entries, vk)
+			}
 		}
 		sh.mu.Unlock()
 	}

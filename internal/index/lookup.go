@@ -132,6 +132,13 @@ type LookupOptions struct {
 	// waiter shares. Like Cache, the same group must not front two
 	// different stores.
 	Flight *resilience.Group
+	// View, when non-nil, pins the look-up to a snapshot of a mutable
+	// corpus: each key's write-buffer overlay is captured before the store
+	// fetch, replacement contributions supersede the key's main-store
+	// items, and tombstones are subtracted at posting-decode time. Cache
+	// and Flight identities fold in the overlay stamp, so look-ups pinned
+	// across a mutation boundary never share a stale entry.
+	View ReadView
 }
 
 // resolveLookup flattens the optional trailing options of the exported

@@ -63,7 +63,7 @@ func TestReadKeysCoalescesCacheFill(t *testing.T) {
 	chB := make(chan result, 1)
 	go read(chB)
 	// Release the leader only once the follower has attached to its flight.
-	fkey := flightKey(table, IDPosting, true, keys)
+	fkey := flightKey(table, IDPosting, true, keys, func(string) uint64 { return 0 })
 	deadline := time.Now().Add(5 * time.Second)
 	for flight.Waiting(fkey) == 0 {
 		if time.Now().After(deadline) {

@@ -247,6 +247,26 @@ func entryItems(uri, table string, e Entry, itemBudget int64) []kv.Item {
 	return items
 }
 
+// ExtractionItems returns the store items every write path would generate
+// for the extraction, grouped by table and keyed by hash key — the exact
+// items WriteExtraction and the BulkLoader ship, byte for byte, range keys
+// included. The mutable warehouse records them in its per-document
+// manifest: the write buffer serves them to snapshot reads, and the
+// compactor later folds them into the main store, so a folded store is
+// indistinguishable from a direct-write one.
+func ExtractionItems(lim kv.Limits, ex *Extraction) map[string]map[string][]kv.Item {
+	itemBudget := itemBudgetFor(lim)
+	out := make(map[string]map[string][]kv.Item, len(ex.Tables))
+	for _, table := range sortedTables(ex) {
+		byKey := make(map[string][]kv.Item)
+		for _, e := range ex.Tables[table] {
+			byKey[e.Key] = append(byKey[e.Key], entryItems(ex.URI, table, e, itemBudget)...)
+		}
+		out[table] = byKey
+	}
+	return out
+}
+
 func sortedTables(ex *Extraction) []string {
 	tables := make([]string, 0, len(ex.Tables))
 	for t := range ex.Tables {
@@ -442,11 +462,22 @@ func ReadKeys(store kv.Store, table string, keys []string, kind PostingKind, bin
 	}()
 	out = make(map[string]map[string]*Posting, len(keys))
 
+	// Snapshot reads: capture the write-buffer overlay BEFORE touching the
+	// cache or the store. A concurrent compaction fold that lands after
+	// this point is harmless — the captured overlay still wins wholesale
+	// for its owners, and a fold that landed before left the main store
+	// (and a monotonically advanced stamp) already carrying its state.
+	var overlays map[string]kv.Overlay
+	if opt.View != nil {
+		overlays = opt.View.Capture(table, keys)
+	}
+	stampOf := func(k string) uint64 { return overlays[k].Stamp }
+
 	fetch := keys
 	if opt.Cache != nil {
 		fetch = make([]string, 0, len(keys))
 		for _, k := range keys {
-			if p, ok := opt.Cache.get(cacheKey{table: table, key: k, kind: kind}); ok {
+			if p, ok := opt.Cache.get(cacheKey{table: table, key: k, kind: kind, ver: stampOf(k)}); ok {
 				out[k] = p
 				rs.CacheHits++
 			} else {
@@ -456,7 +487,7 @@ func ReadKeys(store kv.Store, table string, keys []string, kind PostingKind, bin
 		}
 	}
 	if len(fetch) == 0 {
-		return out, rs, nil
+		return applyViewTombstones(out, overlays, kind, binaryIDs, rs)
 	}
 
 	lim := store.Limits().BatchGetKeys
@@ -499,9 +530,17 @@ func ReadKeys(store kv.Store, table string, keys []string, kind PostingKind, bin
 				postings: make(map[string]map[string]*Posting, len(got)),
 				degraded: degraded,
 			}
-			for k, items := range got {
+			for _, k := range chunk {
+				items := got[k]
 				for _, it := range items {
 					fc.bytes += it.Size()
+				}
+				// Replacement contributions from the write buffer supersede
+				// the owner's main-store items; they come from memory and
+				// bill nothing.
+				items = applyReplaces(items, overlays[k])
+				if len(items) == 0 {
+					continue
 				}
 				postings, err := decodeItems(items, kind, binaryIDs)
 				if err != nil {
@@ -520,7 +559,7 @@ func ReadKeys(store kv.Store, table string, keys []string, kind PostingKind, bin
 		if opt.Flight == nil {
 			v, d, err = run()
 		} else {
-			v, d, leader, err = opt.Flight.Do(flightKey(table, kind, binaryIDs, chunk), run)
+			v, d, leader, err = opt.Flight.Do(flightKey(table, kind, binaryIDs, chunk, stampOf), run)
 		}
 		if err != nil {
 			return chunkResult{err: err}
@@ -576,9 +615,28 @@ func ReadKeys(store kv.Store, table string, keys []string, kind PostingKind, bin
 		for k, postings := range cr.postings {
 			out[k] = postings
 			if cr.fill && opt.Cache != nil {
-				rs.CacheEvictions += opt.Cache.put(cacheKey{table: table, key: k, kind: kind}, postings)
+				rs.CacheEvictions += opt.Cache.put(cacheKey{table: table, key: k, kind: kind, ver: stampOf(k)}, postings)
 			}
 		}
+	}
+	return applyViewTombstones(out, overlays, kind, binaryIDs, rs)
+}
+
+// applyViewTombstones subtracts the captured tombstones from the assembled
+// postings on the way out — after cache fills, so the cache keeps the
+// version-agnostic carrier and each pinned view applies its own deletes at
+// decode time.
+func applyViewTombstones(out map[string]map[string]*Posting, overlays map[string]kv.Overlay, kind PostingKind, binaryIDs bool, rs ReadStats) (map[string]map[string]*Posting, ReadStats, error) {
+	for k, ov := range overlays {
+		postings, ok := out[k]
+		if !ok || len(ov.Tombstones) == 0 {
+			continue
+		}
+		filtered, err := applyTombstones(postings, ov, kind, binaryIDs)
+		if err != nil {
+			return nil, rs, err
+		}
+		out[k] = filtered
 	}
 	return out, rs, nil
 }
@@ -596,8 +654,10 @@ type flightChunk struct {
 // flightKey identifies one chunk fetch for coalescing. Two concurrent
 // fetches coalesce only when they would issue byte-identical requests and
 // decode them identically; like a PostingCache, one Flight group must not
-// front two different stores.
-func flightKey(table string, kind PostingKind, binaryIDs bool, chunk []string) string {
+// front two different stores. Each key's overlay stamp is part of the
+// identity, so look-ups pinned on either side of a mutation never share a
+// leader's postings.
+func flightKey(table string, kind PostingKind, binaryIDs bool, chunk []string, stampOf func(string) uint64) string {
 	var b strings.Builder
 	b.WriteString(table)
 	b.WriteByte('|')
@@ -607,6 +667,10 @@ func flightKey(table string, kind PostingKind, binaryIDs bool, chunk []string) s
 	for _, k := range chunk {
 		b.WriteByte(0)
 		b.WriteString(k)
+		if s := stampOf(k); s != 0 {
+			b.WriteByte('@')
+			b.WriteString(strconv.FormatUint(s, 10))
+		}
 	}
 	return b.String()
 }

@@ -269,18 +269,19 @@ func StageOrder(names []string) {
 		SpanLease:          2,
 		SpanExtract:        3,
 		SpanUpload:         4,
-		SpanAdmit:          5,
-		SpanQuery:          6,
-		SpanSubmitQuery:    7,
-		SpanProcess:        8,
-		SpanLookup:         9,
-		SpanIndexGet:       10,
-		SpanScatter:        11,
-		SpanSemijoin:       12,
-		SpanTwigJoin:       13,
-		SpanEval:           14,
-		SpanResults:        15,
-		SpanFetchResults:   16,
+		SpanCompact:        5,
+		SpanAdmit:          6,
+		SpanQuery:          7,
+		SpanSubmitQuery:    8,
+		SpanProcess:        9,
+		SpanLookup:         10,
+		SpanIndexGet:       11,
+		SpanScatter:        12,
+		SpanSemijoin:       13,
+		SpanTwigJoin:       14,
+		SpanEval:           15,
+		SpanResults:        16,
+		SpanFetchResults:   17,
 	}
 	sort.SliceStable(names, func(i, j int) bool {
 		ri, iok := rank[names[i]]
@@ -312,6 +313,11 @@ const (
 	SpanLease          = "lease"
 	SpanExtract        = "extract"
 	SpanUpload         = "upload"
+	// SpanCompact wraps one delta-compaction pass of a mutable corpus: the
+	// group-committed fold of the write buffer into the main index store.
+	// Its billed puts/deletes are the maintenance cost the mutate experiment
+	// attributes separately from first-build uploads.
+	SpanCompact = "index.compact"
 
 	// SpanAdmit wraps the serving daemon's admission decision for one HTTP
 	// request: quota check, queue wait, and scheduling onto a worker. Its

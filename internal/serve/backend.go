@@ -2,6 +2,7 @@ package serve
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/cloud/ec2"
@@ -21,13 +22,34 @@ type Backend interface {
 	Close() error
 }
 
+// WriteBackend is the optional mutation surface of a Backend: a backend
+// implementing it accepts document updates and removals alongside queries.
+// The server mounts /document only when the backend both implements the
+// interface and reports Writable.
+type WriteBackend interface {
+	// Writable reports whether mutations are accepted (for the warehouse
+	// backend: whether the warehouse runs a mutable corpus).
+	Writable() bool
+	// Update atomically replaces one document's content and index
+	// contribution.
+	Update(uri string, data []byte) error
+	// Remove deletes one document and supersedes its index contribution.
+	Remove(uri string) error
+}
+
 // WarehouseBackend serves queries over a live processor fleet: n query
 // processors polling the warehouse queues (step 9 of Figure 1), plus one
-// core.Frontend dispatching responses back to callers by query ID.
+// core.Frontend dispatching responses back to callers by query ID. When the
+// warehouse runs a mutable corpus the backend also accepts writes, executed
+// on a dedicated instance: queries in flight keep their pinned snapshot, so
+// writes never change an answer mid-query.
 type WarehouseBackend struct {
 	w        *core.Warehouse
 	frontend *core.Frontend
 	workers  []*core.Worker
+
+	writeMu sync.Mutex // serializes mutations on the write instance
+	writeIn *ec2.Instance
 }
 
 // NewWarehouseBackend launches n query processors on fresh instances of the
@@ -41,7 +63,45 @@ func NewWarehouseBackend(w *core.Warehouse, n int, typ ec2.InstanceType, opts co
 	for i := 0; i < n; i++ {
 		b.workers = append(b.workers, w.StartQueryProcessor(ec2.Launch(w.Ledger(), typ), opts))
 	}
+	if w.Corpus() != nil {
+		b.writeIn = ec2.Launch(w.Ledger(), typ)
+	}
 	return b
+}
+
+// Writable implements WriteBackend: true when the warehouse runs a mutable
+// corpus.
+func (b *WarehouseBackend) Writable() bool { return b.writeIn != nil }
+
+// Update implements WriteBackend over core.Warehouse.UpdateDocument.
+func (b *WarehouseBackend) Update(uri string, data []byte) error {
+	if b.writeIn == nil {
+		return fmt.Errorf("serve: warehouse corpus is immutable")
+	}
+	b.writeMu.Lock()
+	defer b.writeMu.Unlock()
+	return b.w.UpdateDocument(b.writeIn, uri, data)
+}
+
+// Remove implements WriteBackend over core.Warehouse.RemoveDocument.
+func (b *WarehouseBackend) Remove(uri string) error {
+	if b.writeIn == nil {
+		return fmt.Errorf("serve: warehouse corpus is immutable")
+	}
+	b.writeMu.Lock()
+	defer b.writeMu.Unlock()
+	return b.w.RemoveDocument(b.writeIn, uri)
+}
+
+// WriteHours reports the write instance's modeled busy time in hours —
+// the VM share of the mutation cost. Zero for immutable warehouses.
+func (b *WarehouseBackend) WriteHours() float64 {
+	if b.writeIn == nil {
+		return 0
+	}
+	b.writeMu.Lock()
+	defer b.writeMu.Unlock()
+	return b.writeIn.Elapsed().Hours()
 }
 
 // Do submits the query and waits up to timeout for its routed response.
@@ -65,7 +125,10 @@ func (b *WarehouseBackend) Close() error {
 // Warehouse exposes the underlying warehouse (for billing snapshots).
 func (b *WarehouseBackend) Warehouse() *core.Warehouse { return b.w }
 
-var _ Backend = (*WarehouseBackend)(nil)
+var (
+	_ Backend      = (*WarehouseBackend)(nil)
+	_ WriteBackend = (*WarehouseBackend)(nil)
+)
 
 // errBackendClosed is returned by backends that refuse work after Close.
 var errBackendClosed = fmt.Errorf("serve: backend closed")

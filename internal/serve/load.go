@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"sort"
 	"sync"
 	"time"
@@ -46,6 +47,24 @@ type LoadOptions struct {
 	UseIndex bool
 	// Timeout bounds one HTTP request; 0 selects DefaultQueryTimeout.
 	Timeout time.Duration
+	// WriteEvery, when positive, turns every Nth request of the offered
+	// sequence into a document write (PUT /document) instead of a query,
+	// making the run a mixed read/write workload. Requires WriteDocs.
+	WriteEvery int
+	// WriteDocs is the document pool the write stream rewrites round-robin;
+	// each update revision-stamps the content so every write changes the
+	// index. The URIs should match documents the daemon has loaded.
+	WriteDocs []WriteDoc
+	// RemoveEvery, when positive, makes every Nth write a DELETE instead of
+	// an update; the removed document is re-inserted by its next
+	// round-robin update.
+	RemoveEvery int
+}
+
+// WriteDoc is one document of the write pool.
+type WriteDoc struct {
+	URI  string
+	Data []byte
 }
 
 // LoadReport is the reduced outcome of a load run.
@@ -56,10 +75,13 @@ type LoadReport struct {
 	ShedQuota     int           `json:"shedQuota"`
 	Errors        int           `json:"errors"`
 	Rows          int           `json:"rows"`
+	Updates       int           `json:"updates,omitempty"`
+	Removes       int           `json:"removes,omitempty"`
 	P50           time.Duration `json:"p50"`
 	P95           time.Duration `json:"p95"`
 	P99           time.Duration `json:"p99"`
 	Max           time.Duration `json:"max"`
+	WriteP95      time.Duration `json:"writeP95,omitempty"`
 	Wall          time.Duration `json:"wall"`
 	ThroughputQPS float64       `json:"throughputQPS"`
 	CostUSD       float64       `json:"costUSD"`
@@ -76,7 +98,7 @@ func (r *LoadReport) ShedRate() float64 {
 
 // String renders the report as one summary block.
 func (r *LoadReport) String() string {
-	return fmt.Sprintf(
+	s := fmt.Sprintf(
 		"offered %d  completed %d  shed %d (queue %d, quota %d)  errors %d  rows %d\n"+
 			"latency p50 %s  p95 %s  p99 %s  max %s\n"+
 			"wall %s  throughput %.1f q/s  shed rate %.1f%%  cost $%.6f  $/1M %.2f",
@@ -84,12 +106,22 @@ func (r *LoadReport) String() string {
 		r.Errors, r.Rows, r.P50.Round(time.Microsecond), r.P95.Round(time.Microsecond),
 		r.P99.Round(time.Microsecond), r.Max.Round(time.Microsecond),
 		r.Wall.Round(time.Millisecond), r.ThroughputQPS, 100*r.ShedRate(), r.CostUSD, r.CostPer1M)
+	if r.Updates+r.Removes > 0 {
+		s += fmt.Sprintf("\nwrites: %d updates  %d removes  p95 %s",
+			r.Updates, r.Removes, r.WriteP95.Round(time.Microsecond))
+	}
+	return s
 }
 
-// loadJob is one pre-generated request of the deterministic sequence.
+// loadJob is one pre-generated request of the deterministic sequence:
+// either a query or (in mixed runs) a document write.
 type loadJob struct {
 	query  workload.Query
 	tenant string
+	write  bool
+	remove bool
+	uri    string
+	data   []byte
 }
 
 // RunLoad drives one load run against a daemon and reduces it to a report.
@@ -113,9 +145,25 @@ func RunLoad(opts LoadOptions) (*LoadReport, error) {
 	if err != nil {
 		return nil, err
 	}
+	if opts.WriteEvery > 0 && len(opts.WriteDocs) == 0 {
+		return nil, fmt.Errorf("serve: WriteEvery needs a WriteDocs pool")
+	}
 	jobs := make([]loadJob, opts.Requests)
+	writes := 0
 	for i := range jobs {
-		jobs[i].query = mix.Next()
+		if opts.WriteEvery > 0 && (i+1)%opts.WriteEvery == 0 {
+			writes++
+			d := opts.WriteDocs[(writes-1)%len(opts.WriteDocs)]
+			jobs[i].write = true
+			jobs[i].uri = d.URI
+			if opts.RemoveEvery > 0 && writes%opts.RemoveEvery == 0 {
+				jobs[i].remove = true
+			} else {
+				jobs[i].data = stampRevision(d.Data, writes)
+			}
+		} else {
+			jobs[i].query = mix.Next()
+		}
 		if len(opts.Tenants) > 0 {
 			jobs[i].tenant = opts.Tenants[i%len(opts.Tenants)]
 		}
@@ -146,6 +194,7 @@ func RunLoad(opts LoadOptions) (*LoadReport, error) {
 	var (
 		mu        sync.Mutex
 		latencies []time.Duration
+		writeLats []time.Duration
 		rep       = &LoadReport{Offered: opts.Requests}
 	)
 	start := time.Now()
@@ -155,6 +204,23 @@ func RunLoad(opts LoadOptions) (*LoadReport, error) {
 		go func() {
 			defer wg.Done()
 			for job := range feed {
+				if job.write {
+					lat, outcome := doWrite(client, opts.BaseURL, job)
+					mu.Lock()
+					if outcome == outcomeOK {
+						rep.Completed++
+						if job.remove {
+							rep.Removes++
+						} else {
+							rep.Updates++
+						}
+						writeLats = append(writeLats, lat)
+					} else {
+						rep.Errors++
+					}
+					mu.Unlock()
+					continue
+				}
 				lat, rows, outcome := doOne(client, opts.BaseURL, job, opts.UseIndex)
 				mu.Lock()
 				switch outcome {
@@ -179,6 +245,7 @@ func RunLoad(opts LoadOptions) (*LoadReport, error) {
 		rep.ThroughputQPS = float64(rep.Completed) / rep.Wall.Seconds()
 	}
 	rep.P50, rep.P95, rep.P99, rep.Max = percentiles(latencies)
+	_, rep.WriteP95, _, _ = percentiles(writeLats)
 	if haveBilling {
 		if costAfter, ok := fetchBillingTotal(client, opts.BaseURL); ok && rep.Completed > 0 {
 			rep.CostUSD = costAfter - costBefore
@@ -231,6 +298,51 @@ func doOne(client *http.Client, baseURL string, job loadJob, useIndex bool) (tim
 		io.Copy(io.Discard, resp.Body)
 		return lat, 0, outcomeError
 	}
+}
+
+// doWrite issues one document write and classifies its outcome.
+func doWrite(client *http.Client, baseURL string, job loadJob) (time.Duration, int) {
+	target := baseURL + "/document?uri=" + url.QueryEscape(job.uri)
+	var req *http.Request
+	var err error
+	if job.remove {
+		req, err = http.NewRequest(http.MethodDelete, target, nil)
+	} else {
+		req, err = http.NewRequest(http.MethodPut, target, bytes.NewReader(job.data))
+	}
+	if err != nil {
+		return 0, outcomeError
+	}
+	if job.tenant != "" {
+		req.Header.Set(TenantHeader, job.tenant)
+	}
+	start := time.Now()
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, outcomeError
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	lat := time.Since(start)
+	if resp.StatusCode != http.StatusOK {
+		return lat, outcomeError
+	}
+	return lat, outcomeOK
+}
+
+// stampRevision inserts a revision marker as the first child of the root
+// element, so each update carries distinct content and re-indexes; content
+// without a root tag is passed through unchanged.
+func stampRevision(data []byte, rev int) []byte {
+	i := bytes.IndexByte(data, '>')
+	if i < 0 {
+		return data
+	}
+	note := fmt.Sprintf("<note>rev%d</note>", rev)
+	out := make([]byte, 0, len(data)+len(note))
+	out = append(out, data[:i+1]...)
+	out = append(out, note...)
+	return append(out, data[i+1:]...)
 }
 
 // percentiles reduces a latency sample to p50/p95/p99/max.

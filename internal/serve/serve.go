@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"math"
 	"net"
 	"net/http"
@@ -24,6 +25,9 @@ const TenantDefault = "default"
 // DefaultQueryTimeout bounds how long one admitted query may take end to
 // end before the serving layer gives up on it.
 const DefaultQueryTimeout = 30 * time.Second
+
+// MaxDocumentBytes bounds one PUT /document body.
+const MaxDocumentBytes = 16 << 20
 
 // Config assembles a Server.
 type Config struct {
@@ -153,12 +157,14 @@ func (s *Server) Ready() error {
 	return nil
 }
 
-// Handler returns the full HTTP surface: POST /query, /billing.json when
-// configured, and the obs endpoints (/metrics, /metrics.json, /trace.json,
-// /healthz, /readyz) as the fallback.
+// Handler returns the full HTTP surface: POST /query, PUT/DELETE /document
+// when the backend accepts writes, /billing.json when configured, and the
+// obs endpoints (/metrics, /metrics.json, /trace.json, /healthz, /readyz)
+// as the fallback.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/document", s.handleDocument)
 	if s.bill != nil {
 		mux.HandleFunc("/billing.json", s.handleBilling)
 	}
@@ -269,6 +275,99 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	span.SetAttrInt("rows", int64(resp.RowCount))
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// WriteResponse is the PUT/DELETE /document success body.
+type WriteResponse struct {
+	URI       string  `json:"uri"`
+	Op        string  `json:"op"`
+	ElapsedMs float64 `json:"elapsedMs"`
+}
+
+// handleDocument is the write surface of a mutable warehouse: PUT (or POST)
+// with the document's XML as the body updates — or inserts — the document
+// named by the uri query parameter; DELETE removes it. Writes run on the
+// backend's dedicated write path and do not pass query admission, but they
+// do respect draining so Shutdown waits for in-flight writes like it waits
+// for queries.
+func (s *Server) handleDocument(w http.ResponseWriter, r *http.Request) {
+	wb, ok := s.backend.(WriteBackend)
+	if !ok || !wb.Writable() {
+		writeError(w, http.StatusNotImplemented,
+			ErrorResponse{Error: "serve: document writes need a mutable corpus (start the warehouse with MutableCorpus)"})
+		return
+	}
+	uri := r.URL.Query().Get("uri")
+	if uri == "" {
+		writeError(w, http.StatusBadRequest, ErrorResponse{Error: "serve: missing uri query parameter"})
+		return
+	}
+
+	var op string
+	switch r.Method {
+	case http.MethodPut, http.MethodPost:
+		op = "update"
+	case http.MethodDelete:
+		op = "remove"
+	default:
+		w.Header().Set("Allow", "PUT, POST, DELETE")
+		writeError(w, http.StatusMethodNotAllowed, ErrorResponse{Error: "PUT, POST or DELETE only"})
+		return
+	}
+	var data []byte
+	if op == "update" {
+		var err error
+		data, err = io.ReadAll(io.LimitReader(r.Body, MaxDocumentBytes+1))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, ErrorResponse{Error: "reading body: " + err.Error()})
+			return
+		}
+		if len(data) == 0 {
+			writeError(w, http.StatusBadRequest, ErrorResponse{Error: "serve: empty document body"})
+			return
+		}
+		if len(data) > MaxDocumentBytes {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				ErrorResponse{Error: fmt.Sprintf("serve: document exceeds %d bytes", MaxDocumentBytes)})
+			return
+		}
+	}
+
+	// Same atomicity as query admission: the draining check and the
+	// WaitGroup increment commit together, so a graceful Shutdown never
+	// misses an accepted write.
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		rej := &Rejection{Reason: ReasonDraining, RetryAfter: time.Second}
+		s.reg.Counter("serve.rejected.draining").Inc()
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable,
+			ErrorResponse{Error: rej.Error(), Reason: rej.Reason, RetryAfterMs: rej.RetryAfter.Milliseconds()})
+		return
+	}
+	s.inflight.Add(1)
+	s.mu.Unlock()
+	defer s.inflight.Done()
+
+	start := time.Now()
+	var err error
+	if op == "update" {
+		err = wb.Update(uri, data)
+	} else {
+		err = wb.Remove(uri)
+	}
+	elapsed := time.Since(start)
+	s.reg.Histogram("serve.write.latency").ObserveWall(elapsed)
+	if err != nil {
+		s.reg.Counter("serve.write.failed").Inc()
+		writeError(w, http.StatusInternalServerError, ErrorResponse{Error: err.Error()})
+		return
+	}
+	s.reg.Counter("serve." + op + "s").Inc()
+	writeJSON(w, http.StatusOK, WriteResponse{
+		URI: uri, Op: op, ElapsedMs: float64(elapsed) / float64(time.Millisecond),
+	})
 }
 
 // shed answers one rejected request: the reason is counted, attached to the
